@@ -1,0 +1,79 @@
+// Extension bench: the open-page row-buffer model. The paper's baseline is
+// closed-page; this quantifies what an open-page policy would add on top
+// of each readout scheme (row hits skip sensing entirely, so they also
+// bypass the R/M latency gap).
+#include <cstdio>
+
+#include "memsim/env.h"
+#include "memsim/simulator.h"
+#include "readduo/schemes.h"
+#include "stats/report.h"
+#include "trace/workload.h"
+
+using namespace rd;
+
+namespace {
+
+struct Row {
+  double exec_ms;
+  double latency;
+  double hit_rate;
+};
+
+Row run(readduo::SchemeKind kind, const trace::Workload& w, bool open_page) {
+  memsim::SimConfig cfg;
+  cfg.instructions_per_core = 2'000'000;
+  cfg.seed = 77;
+  cfg.row_buffer.enabled = open_page;
+  // An open-page policy pairs with row-interleaved address mapping so
+  // sequential lines land in the same latched row.
+  if (open_page) cfg.address_map = memsim::AddressMap::kRowInterleave;
+  readduo::SchemeEnv env = memsim::make_scheme_env(w, cfg.cpu, 77);
+  auto scheme = readduo::make_scheme(kind, env);
+  memsim::Simulator sim(cfg, *scheme, w);
+  const memsim::SimResult r = sim.run();
+  return Row{static_cast<double>(r.exec_time.v) * 1e-6,
+             r.avg_read_latency_ns(),
+             r.reads_serviced
+                 ? static_cast<double>(r.row_hits) /
+                       static_cast<double>(r.reads_serviced)
+                 : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Extension: open-page row buffer vs the closed-page "
+              "baseline\n\n");
+  stats::Table t({"Workload", "Scheme", "closed (ms / ns)",
+                  "open (ms / ns)", "hit rate", "speedup"});
+  for (const char* name : {"gcc", "omnetpp", "mcf", "sphinx3"}) {
+    const auto& w = trace::workload_by_name(name);
+    for (auto kind :
+         {readduo::SchemeKind::kIdeal, readduo::SchemeKind::kMMetric,
+          readduo::SchemeKind::kLwt}) {
+      const Row closed = run(kind, w, false);
+      const Row open = run(kind, w, true);
+      readduo::SchemeEnv env;
+      t.add_row({w.name, readduo::make_scheme(kind, env)->name(),
+                 stats::fmt("%.2f", closed.exec_ms) + " / " +
+                     stats::fmt("%.0f", closed.latency),
+                 stats::fmt("%.2f", open.exec_ms) + " / " +
+                     stats::fmt("%.0f", open.latency),
+                 stats::fmt("%.1f%%", 100.0 * open.hit_rate),
+                 stats::fmt("%+.1f%%",
+                            100.0 * (closed.exec_ms / open.exec_ms - 1.0))});
+    }
+  }
+  t.print();
+  std::printf("\nReading: open-page + row-interleave is a locality-vs-"
+              "parallelism trade. Sequential streams (sphinx3's scan) hit "
+              "the latched row ~1/3 of the time and skip sensing entirely "
+              "— which shrinks the M/R-M latency gap, hence LWT-4's gain. "
+              "Hot-lined workloads (gcc) lose badly: row-interleaving "
+              "concentrates their traffic in few banks and queueing "
+              "swamps the hit savings. The paper's closed-page, "
+              "line-interleaved baseline is the right default for MLC "
+              "PCM.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension bench: Start-Gap wear leveling under skewed write streams.
+//
+// The paper reports scheme-level endurance as total cell writes (Figure
+// 15) and defers wear leveling to related work [19]. This bench supplies
+// that substrate's numbers: how much a rotating gap flattens per-line
+// wear for Zipf write skews, and what it costs in extra line writes.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "pcm/wear_level.h"
+#include "stats/report.h"
+
+using namespace rd;
+
+int main() {
+  const std::uint64_t kLines = 1u << 14;
+  const std::uint64_t kWrites = 4'000'000;
+  const std::uint64_t kInterval = 100;  // psi: 1% write overhead
+
+  std::printf("== Extension: Start-Gap wear leveling (%llu lines, %llu "
+              "writes, gap interval %llu)\n\n",
+              static_cast<unsigned long long>(kLines),
+              static_cast<unsigned long long>(kWrites),
+              static_cast<unsigned long long>(kInterval));
+
+  stats::Table t({"Write skew (zipf s)", "no WL: max/mean wear",
+                  "Start-Gap: max/mean wear", "lifetime gain",
+                  "gap-move overhead"});
+  for (double s : {0.0, 0.5, 0.8, 0.95}) {
+    Rng rng(101);
+    std::vector<std::uint64_t> raw(kLines, 0);
+    std::vector<std::uint64_t> leveled(kLines + 1, 0);
+    pcm::StartGap sg(kLines, kInterval);
+    std::uint64_t gap_moves = 0;
+    for (std::uint64_t i = 0; i < kWrites; ++i) {
+      const std::uint64_t logical = rng.zipf(kLines, s);
+      ++raw[logical];
+      ++leveled[sg.to_physical(logical)];
+      gap_moves += sg.on_write() ? 1 : 0;
+    }
+    const double mean_raw =
+        static_cast<double>(kWrites) / static_cast<double>(kLines);
+    const double mean_lvl =
+        static_cast<double>(kWrites) / static_cast<double>(kLines + 1);
+    const double max_raw = static_cast<double>(
+        *std::max_element(raw.begin(), raw.end()));
+    const double max_lvl = static_cast<double>(
+        *std::max_element(leveled.begin(), leveled.end()));
+    // PCM lifetime is set by the most-worn line.
+    t.add_row({stats::fmt("%.2f", s), stats::fmt("%.1fx", max_raw / mean_raw),
+               stats::fmt("%.1fx", max_lvl / mean_lvl),
+               stats::fmt("%.1fx", max_raw / max_lvl),
+               stats::fmt("%.2f%%", 100.0 * static_cast<double>(gap_moves) /
+                                        static_cast<double>(kWrites))});
+  }
+  t.print();
+
+  std::printf("\nReading: without leveling, lifetime is set by the hottest "
+              "line (tens of times the mean under heavy skew); Start-Gap "
+              "bounds the hottest physical slot to a small multiple of the "
+              "mean for ~1%% extra writes.\n");
+  return 0;
+}

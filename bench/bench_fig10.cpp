@@ -1,0 +1,66 @@
+// Figure 10: normalized dynamic energy, per workload and scheme,
+// normalized to Ideal. Paper averages: Scrubbing +17%, M-metric +5%,
+// Hybrid +8.7%, LWT-4 +1.33%, Select-4:2 = 77.8% of Ideal. The paper also
+// notes sphinx's LWT energy rises sharply from R-M-read conversions —
+// check that row.
+#include <cstdio>
+
+#include "harness.h"
+#include "stats/report.h"
+
+using namespace rd;
+using namespace rd::bench;
+
+int main() {
+  std::printf("== Figure 10: normalized dynamic energy (budget %llu "
+              "instructions/core)\n\n",
+              static_cast<unsigned long long>(instruction_budget()));
+
+  std::vector<std::string> header = {"Workload"};
+  {
+    readduo::ReadDuoOptions opts;
+    for (auto kind : paper_schemes()) {
+      header.push_back(readduo::scheme_name(kind, opts));
+    }
+  }
+  std::vector<std::vector<double>> ratios(paper_schemes().size());
+  stats::Table t(header);
+  for (const auto& w : trace::spec2006_workloads()) {
+    std::vector<std::string> row = {w.name};
+    double ideal = 0.0;
+    std::size_t i = 0;
+    for (auto kind : paper_schemes()) {
+      const RunResult r = run_scheme(kind, w);
+      const double e = r.summary.dynamic_energy_pj;
+      if (kind == readduo::SchemeKind::kIdeal) ideal = e;
+      const double ratio = e / ideal;
+      ratios[i++].push_back(ratio);
+      row.push_back(stats::fmt("%.3f", ratio));
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg = {"geomean"};
+  for (const auto& rs : ratios) avg.push_back(stats::fmt("%.3f", geomean(rs)));
+  t.add_row(std::move(avg));
+  t.print();
+
+  // Energy decomposition for the average-defining categories.
+  std::printf("\nEnergy decomposition (read / write / scrub shares):\n");
+  stats::Table d({"Workload", "Scheme", "read%", "write%", "scrub%"});
+  for (const char* name : {"sphinx3", "mcf"}) {
+    const auto& w = trace::workload_by_name(name);
+    for (auto kind : paper_schemes()) {
+      const RunResult r = run_scheme(kind, w);
+      const double tot = r.counters.dynamic_energy_pj();
+      d.add_row({w.name, r.summary.scheme,
+                 stats::fmt("%.1f", 100.0 * r.counters.read_energy_pj / tot),
+                 stats::fmt("%.1f", 100.0 * r.counters.write_energy_pj / tot),
+                 stats::fmt("%.1f", 100.0 * r.counters.scrub_energy_pj / tot)});
+    }
+  }
+  d.print();
+
+  std::printf("\nPaper averages: Scrubbing 1.17, M-metric 1.05, Hybrid "
+              "1.087, LWT-4 1.013, Select-4:2 0.778\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 15: PCM lifetime impact. Lifetime is inversely proportional to
+// the cell-write rate. Paper: Scrubbing -12.4%, M-metric ~0, Hybrid -6%,
+// LWT-4 -10%, Select-4:2 +42% relative to Ideal.
+#include <cstdio>
+
+#include "harness.h"
+#include "stats/report.h"
+
+using namespace rd;
+using namespace rd::bench;
+
+int main() {
+  std::printf("== Figure 15: relative PCM lifetime (1/cell-write rate), "
+              "Ideal = 1.0 (budget %llu instructions/core)\n\n",
+              static_cast<unsigned long long>(instruction_budget()));
+
+  std::vector<std::string> header = {"Workload"};
+  readduo::ReadDuoOptions opts;
+  for (auto kind : paper_schemes()) {
+    header.push_back(readduo::scheme_name(kind, opts));
+  }
+  std::vector<std::vector<double>> ratios(paper_schemes().size());
+  stats::Table t(header);
+  for (const auto& w : trace::spec2006_workloads()) {
+    std::vector<std::string> row = {w.name};
+    RunResult ideal;
+    std::size_t i = 0;
+    for (auto kind : paper_schemes()) {
+      const RunResult r = run_scheme(kind, w);
+      if (kind == readduo::SchemeKind::kIdeal) ideal = r;
+      const double life = stats::relative_lifetime(r.summary, ideal.summary);
+      ratios[i++].push_back(life);
+      row.push_back(stats::fmt("%.3f", life));
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg = {"geomean"};
+  for (const auto& rs : ratios) avg.push_back(stats::fmt("%.3f", geomean(rs)));
+  t.add_row(std::move(avg));
+  t.print();
+
+  std::printf("\nWrite-mix detail (full vs differential demand writes):\n");
+  stats::Table d({"Workload", "full", "diff", "scrub-rw", "conv", "diff%"});
+  for (const char* name : {"bzip2", "mcf", "lbm"}) {
+    const auto& w = trace::workload_by_name(name);
+    const RunResult r = run_scheme(readduo::SchemeKind::kSelect, w);
+    const auto& c = r.counters;
+    const double tot = static_cast<double>(c.total_demand_writes());
+    d.add_row({w.name, std::to_string(c.demand_full_writes),
+               std::to_string(c.demand_diff_writes),
+               std::to_string(c.scrub_rewrites),
+               std::to_string(c.conversion_writes),
+               stats::fmt("%.1f%%",
+                          100.0 * static_cast<double>(c.demand_diff_writes) /
+                              (tot > 0 ? tot : 1.0))});
+  }
+  d.print();
+
+  std::printf("\nPaper: Scrubbing 0.876, M-metric ~1.0, Hybrid 0.94, LWT-4 "
+              "0.90, Select-4:2 1.42\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 9: normalized execution time, 14 SPEC2006-like workloads x the
+// six evaluated schemes, normalized to Ideal (drift-free MLC). Paper
+// averages: Scrubbing +21%, M-metric +25%, Hybrid +5.8%, LWT-4 +2.9%,
+// Select-4:2 +3.4%.
+#include <cstdio>
+
+#include "harness.h"
+#include "stats/report.h"
+
+using namespace rd;
+using namespace rd::bench;
+
+int main() {
+  std::printf("== Figure 9: normalized execution time (budget %llu "
+              "instructions/core)\n",
+              static_cast<unsigned long long>(instruction_budget()));
+  std::printf("== Table X: workload characterization (RPKI / WPKI per "
+              "kilo-instruction, post-LLC)\n\n");
+
+  stats::Table tx({"Workload", "RPKI", "WPKI", "Footprint(MB)",
+                   "Zipf", "Archive reads", "Archive age(s)"});
+  for (const auto& w : trace::spec2006_workloads()) {
+    tx.add_row({w.name, stats::fmt("%.2f", w.rpki), stats::fmt("%.2f", w.wpki),
+                stats::fmt("%.0f", static_cast<double>(w.footprint_lines) *
+                                       64.0 / 1048576.0),
+                stats::fmt("%.2f", w.zipf_s),
+                stats::fmt("%.0f%%", 100.0 * w.archive_read_fraction),
+                stats::fmt("%.0f", w.archive_age_scale)});
+  }
+  tx.print();
+  std::printf("\n");
+
+  std::vector<std::string> header = {"Workload"};
+  std::vector<std::vector<double>> ratios(paper_schemes().size());
+  {
+    readduo::ReadDuoOptions opts;
+    for (auto kind : paper_schemes()) {
+      header.push_back(readduo::scheme_name(kind, opts));
+    }
+  }
+  stats::Table t(header);
+  for (const auto& w : trace::spec2006_workloads()) {
+    std::vector<std::string> row = {w.name};
+    double ideal = 0.0;
+    std::size_t i = 0;
+    for (auto kind : paper_schemes()) {
+      const RunResult r = run_scheme(kind, w);
+      const double time = static_cast<double>(r.summary.exec_time.v);
+      if (kind == readduo::SchemeKind::kIdeal) ideal = time;
+      const double ratio = time / ideal;
+      ratios[i++].push_back(ratio);
+      row.push_back(stats::fmt("%.3f", ratio));
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg = {"geomean"};
+  for (const auto& rs : ratios) avg.push_back(stats::fmt("%.3f", geomean(rs)));
+  t.add_row(std::move(avg));
+  t.print();
+
+  std::printf("\nPaper averages: Scrubbing 1.21, M-metric 1.25, Hybrid "
+              "1.058, LWT-4 1.029, Select-4:2 1.034\n");
+  return 0;
+}

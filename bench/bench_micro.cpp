@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrate: BCH codec, drift analytics, device Monte-Carlo, and the
+// event-driven simulator core.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "drift/error_model.h"
+#include "ecc/bch.h"
+#include "ecc/secded.h"
+#include "memsim/env.h"
+#include "memsim/simulator.h"
+#include "pcm/line.h"
+#include "readduo/schemes.h"
+#include "trace/generator.h"
+
+using namespace rd;
+
+namespace {
+
+const ecc::BchCode& bch8() {
+  static const ecc::BchCode code(10, 8, 512);
+  return code;
+}
+
+BitVec random_payload(Rng& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+void BM_BchEncode(benchmark::State& state) {
+  Rng rng(1);
+  const BitVec data = random_payload(rng, 512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bch8().encode(data));
+  }
+}
+BENCHMARK(BM_BchEncode);
+
+void BM_BchSyndromeClean(benchmark::State& state) {
+  Rng rng(2);
+  const BitVec cw = bch8().encode(random_payload(rng, 512));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bch8().is_codeword(cw));
+  }
+}
+BENCHMARK(BM_BchSyndromeClean);
+
+void BM_BchDecode(benchmark::State& state) {
+  const unsigned nerr = static_cast<unsigned>(state.range(0));
+  Rng rng(3);
+  const BitVec clean = bch8().encode(random_payload(rng, 512));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BitVec cw = clean;
+    for (unsigned i = 0; i < nerr; ++i) {
+      cw.flip(rng.uniform_below(cw.size()));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bch8().decode(cw));
+  }
+}
+BENCHMARK(BM_BchDecode)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_Secded(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    std::uint64_t d = rng.next();
+    std::uint8_t c = ecc::Secded7264::encode_checks(d);
+    d ^= 1ull << (rng.next() % 64);
+    benchmark::DoNotOptimize(ecc::Secded7264::decode(d, c));
+  }
+}
+BENCHMARK(BM_Secded);
+
+void BM_DriftCellErrorProb(benchmark::State& state) {
+  const drift::ErrorModel model(drift::r_metric());
+  double t = 1.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.avg_cell_error_prob(t));
+    t = t < 1e6 ? t * 1.37 : 1.5;
+  }
+}
+BENCHMARK(BM_DriftCellErrorProb);
+
+void BM_DriftLerTail(benchmark::State& state) {
+  const drift::LerCalculator calc{drift::ErrorModel(drift::r_metric())};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.ler(8, 640.0));
+  }
+}
+BENCHMARK(BM_DriftLerTail);
+
+void BM_CellErrorTableLookup(benchmark::State& state) {
+  const drift::ErrorModel model(drift::r_metric());
+  const drift::CellErrorTable table(model);
+  double t = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.prob(t));
+    t = t < 1e6 ? t * 1.01 : 2.0;
+  }
+}
+BENCHMARK(BM_CellErrorTableLookup);
+
+void BM_MlcLineWriteRead(benchmark::State& state) {
+  Rng rng(5);
+  const drift::MetricConfig cfg = drift::r_metric();
+  pcm::MlcLine line(592);
+  const BitVec data = random_payload(rng, 592);
+  for (auto _ : state) {
+    line.write_full(data, 0.0, rng, cfg);
+    benchmark::DoNotOptimize(line.read(640.0, cfg));
+  }
+}
+BENCHMARK(BM_MlcLineWriteRead);
+
+void BM_ZipfDraw(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.zipf(1u << 20, 0.7));
+  }
+}
+BENCHMARK(BM_ZipfDraw);
+
+void BM_TraceGen(benchmark::State& state) {
+  trace::TraceGen gen(trace::workload_by_name("mcf"), 0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+}
+BENCHMARK(BM_TraceGen);
+
+void BM_SimulatorRun(benchmark::State& state) {
+  const auto& w = trace::workload_by_name("bzip2");
+  for (auto _ : state) {
+    memsim::SimConfig cfg;
+    cfg.instructions_per_core = 200'000;
+    readduo::SchemeEnv env = memsim::make_scheme_env(w, cfg.cpu, 1);
+    auto scheme =
+        readduo::make_scheme(readduo::SchemeKind::kHybrid, env);
+    memsim::Simulator sim(cfg, *scheme, w);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_SimulatorRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

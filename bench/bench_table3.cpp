@@ -1,0 +1,57 @@
+// Table III: line error rate (LER) within the first scrub interval under
+// R-metric sensing, for BCH strength E and interval S, against the
+// DRAM-equivalent target. The paper's pivotal feasibility points:
+// (BCH=8, S=8) meets the target, and 17-error detection stays below the
+// target out to S = 640 s (what makes ReadDuo-Hybrid safe).
+#include <cstdio>
+#include <string>
+
+#include "drift/error_model.h"
+#include "stats/report.h"
+
+using namespace rd;
+
+namespace {
+
+std::string cell(double ler, double target) {
+  if (ler < 1e-18) return "too small";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2E%s", ler, ler <= target ? " *" : "");
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  drift::LerCalculator calc{drift::ErrorModel(drift::r_metric())};
+  const unsigned es[] = {0, 1, 7, 8, 9, 16, 17, 18};
+  const double times[] = {4, 8, 16, 32, 64, 128, 256, 512, 640, 1024};
+
+  std::printf("== Table III: LER vs (E, S), R-metric sensing\n");
+  std::printf("   ('*' marks entries meeting the DRAM target; paper anchor: "
+              "(E=8, S=8) feasible, (E=17, S=640) feasible)\n\n");
+  std::vector<std::string> header = {"S(s)"};
+  for (unsigned e : es) header.push_back("E=" + std::to_string(e));
+  header.push_back("LER_DRAM");
+  stats::Table t(header);
+  for (double s : times) {
+    const double target = drift::LerCalculator::ler_dram_target(s);
+    std::vector<std::string> row = {stats::fmt("%.0f", s)};
+    for (unsigned e : es) row.push_back(cell(calc.ler(e, s), target));
+    row.push_back(stats::fmt("%.2E", target));
+    t.add_row(std::move(row));
+  }
+  t.print();
+
+  const double t640 = drift::LerCalculator::ler_dram_target(640);
+  std::printf("\nPivotal checks:\n");
+  std::printf("  LER(E=8,  S=8)   = %.2E  (target %.2E)  %s\n",
+              calc.ler(8, 8), drift::LerCalculator::ler_dram_target(8),
+              calc.ler(8, 8) <= drift::LerCalculator::ler_dram_target(8)
+                  ? "MEETS"
+                  : "fails");
+  std::printf("  LER(E=17, S=640) = %.2E  (target %.2E)  %s\n",
+              calc.ler(17, 640), t640,
+              calc.ler(17, 640) <= t640 ? "MEETS" : "fails");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table VII: subarray area occupancy with and without the ReadDuo hybrid
+// sense amplifier. The paper (via a revised NVSim) reports a 0.27% total
+// area increment for adding the voltage-mode sense path.
+#include <cstdio>
+
+#include "pcm/area.h"
+#include "stats/report.h"
+
+using namespace rd;
+
+namespace {
+
+void print_breakdown(const char* title, const pcm::SubarrayArea& a) {
+  std::printf("\n%s (total %.3e F^2):\n", title, a.total());
+  stats::Table t({"Component", "Area (F^2)", "Share"});
+  auto row = [&](const char* name, double v) {
+    t.add_row({name, stats::fmt("%.3e", v),
+               stats::fmt("%.3f%%", 100.0 * v / a.total())});
+  };
+  row("data array", a.data_array);
+  row("row decoder", a.row_decoder);
+  row("column mux + precharge", a.column_periphery);
+  row("current-mode sense (I-V conv)", a.current_sense);
+  row("voltage-mode sense (ReadDuo)", a.voltage_sense);
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  pcm::AreaParams p;
+  std::printf("== Table VII: subarray area model (%zux%zu cells, %zu:1 "
+              "column mux, %zu sense amps)\n",
+              p.rows, p.cols, p.column_mux_ratio, p.num_sense_amps());
+  const pcm::SubarrayArea base = pcm::subarray_area(p, false);
+  const pcm::SubarrayArea enhanced = pcm::subarray_area(p, true);
+  print_breakdown("Conventional subarray (current-mode only)", base);
+  print_breakdown("ReadDuo subarray (hybrid S/A)", enhanced);
+  std::printf("\nOverall area increment: %.3f%%  (paper: 0.27%%)\n",
+              100.0 * pcm::readduo_area_increase(p));
+  return 0;
+}

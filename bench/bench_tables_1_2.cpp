@@ -1,0 +1,71 @@
+// Tables I, II, VIII, IX: the model configurations the rest of the
+// reproduction is built on. Printing them from the live structs keeps the
+// documentation honest — what you see here is what every bench uses.
+#include <cstdio>
+
+#include "drift/metric.h"
+#include "pcm/params.h"
+#include "pcm/write.h"
+#include "stats/report.h"
+
+using namespace rd;
+
+namespace {
+
+void print_metric(const drift::MetricConfig& c) {
+  std::printf("\n%s configuration (t0 = %.0fs, programmed range +/-%.3f "
+              "sigma, read boundary +/-%.2f sigma):\n",
+              c.name.c_str(), c.t0_seconds, c.program_halfwidth,
+              c.boundary_halfwidth);
+  stats::Table t({"Level", "Data", "log10(X)", "sigma", "mu_alpha",
+                  "sigma_alpha"});
+  for (std::size_t i = 0; i < drift::kNumStates; ++i) {
+    const auto& s = c.states[i];
+    t.add_row({std::to_string(i),
+               std::string(1, '0' + ((drift::kLevelData[i] >> 1) & 1)) +
+                   std::string(1, '0' + (drift::kLevelData[i] & 1)),
+               stats::fmt("%.0f", s.mu), stats::fmt("%.4f", s.sigma),
+               stats::fmt("%.5f", s.mu_alpha),
+               stats::fmt("%.5f", s.sigma_alpha)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table I / Table II: readout-metric drift configurations\n");
+  print_metric(drift::r_metric());
+  print_metric(drift::m_metric());
+
+  std::printf("\n== Table VIII: system configuration\n");
+  pcm::CpuParams cpu;
+  pcm::MemoryOrg org;
+  pcm::TimingParams tm;
+  std::printf("  CPU: %u in-order cores @ %.1f GHz (read stall fraction "
+              "%.2f)\n",
+              cpu.num_cores, cpu.clock_ghz, cpu.read_stall_fraction);
+  std::printf("  Memory: %llu GB MLC PCM, %u banks, %u B lines, %u cells "
+              "per line, %u lines per scrub row\n",
+              static_cast<unsigned long long>(org.capacity_bytes >> 30),
+              org.num_banks, org.line_bytes, org.cells_per_line,
+              org.lines_per_scrub);
+  std::printf("  Timing: R-read %lld ns, M-read %lld ns, R-M-read %lld ns, "
+              "write %lld ns, bus %lld ns\n",
+              static_cast<long long>(tm.r_read.v),
+              static_cast<long long>(tm.m_read.v),
+              static_cast<long long>(tm.rm_read.v),
+              static_cast<long long>(tm.write.v),
+              static_cast<long long>(tm.bus_transfer.v));
+
+  std::printf("\n== Table IX: energy parameters (literature-typical; see "
+              "DESIGN.md substitutions)\n");
+  pcm::EnergyParams e;
+  std::printf("  R-read: %.0f pJ/line, M-read: %.0f pJ/line, cell write: "
+              "%.0f pJ/cell, static: %.2f W\n",
+              e.r_read.v, e.m_read.v, e.cell_write.v, e.static_watts);
+  pcm::PnvParams pnv;
+  std::printf("  P&V pulses per cell write (avg over levels): %.2f\n",
+              pcm::average_write_pulses(pnv));
+  return 0;
+}

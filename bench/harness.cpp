@@ -1,0 +1,143 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "memsim/env.h"
+
+namespace rd::bench {
+
+std::uint64_t instruction_budget() {
+  if (const char* e = std::getenv("READDUO_INSTR")) {
+    const std::uint64_t v = std::strtoull(e, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 6'000'000;
+}
+
+namespace {
+
+bool cache_enabled() {
+  const char* e = std::getenv("READDUO_CACHE");
+  return e == nullptr || std::string(e) != "0";
+}
+
+std::string cache_key(readduo::SchemeKind kind, const trace::Workload& w,
+                      const readduo::ReadDuoOptions& opts,
+                      std::uint64_t budget, std::uint64_t seed) {
+  std::ostringstream os;
+  os << scheme_name(kind, opts) << "_" << w.name << "_b" << budget << "_s"
+     << seed << "_k" << opts.k << "_sw" << opts.select_s << "_c"
+     << (opts.conversion ? 1 : 0) << "_f" << opts.changed_cell_fraction
+     << "_t" << opts.controller.initial_t << "_wr" << w.rpki << "-"
+     << w.wpki << "-" << w.footprint_lines << "-"
+     << w.archive_read_fraction << "-" << w.archive_lines << "-"
+     << (w.archive_scan ? 1 : 0);
+  std::string key = os.str();
+  for (char& c : key) {
+    if (c == ':' || c == '/' || c == ' ') c = '-';
+  }
+  return key;
+}
+
+std::filesystem::path cache_path(const std::string& key) {
+  return std::filesystem::path("bench_cache") / (key + ".txt");
+}
+
+bool load_cached(const std::string& key, RunResult& out) {
+  std::ifstream in(cache_path(key));
+  if (!in) return false;
+  std::string name;
+  std::int64_t exec = 0;
+  auto& c = out.counters;
+  auto& s = out.sim;
+  in >> name >> exec >> out.summary.dynamic_energy_pj >>
+      out.summary.static_watts >> out.summary.cells_per_line >>
+      out.summary.cell_writes >> c.r_reads >> c.m_reads >> c.rm_reads >>
+      c.untracked_reads >> c.converted_reads >> c.demand_full_writes >>
+      c.demand_diff_writes >> c.conversion_writes >> c.scrub_senses >>
+      c.scrub_rewrites >> c.detected_uncorrectable >> c.silent_corruptions >>
+      c.cell_writes >> c.read_energy_pj >> c.write_energy_pj >>
+      c.scrub_energy_pj >> s.reads_serviced >> s.writes_serviced >>
+      s.scrubs_serviced >> s.write_cancellations >> s.read_latency_sum_ns >>
+      s.bank_busy_ns >> s.scrub_backlog_end >> s.instructions;
+  if (!in) return false;
+  out.summary.scheme = name;
+  out.summary.exec_time = Ns{exec};
+  out.sim.exec_time = Ns{exec};
+  return true;
+}
+
+void store_cached(const std::string& key, const RunResult& r) {
+  std::filesystem::create_directories("bench_cache");
+  std::ofstream out(cache_path(key));
+  const auto& c = r.counters;
+  const auto& s = r.sim;
+  out << r.summary.scheme << " " << r.summary.exec_time.v << " "
+      << r.summary.dynamic_energy_pj << " " << r.summary.static_watts << " "
+      << r.summary.cells_per_line << " " << r.summary.cell_writes << " "
+      << c.r_reads << " " << c.m_reads << " " << c.rm_reads << " "
+      << c.untracked_reads << " " << c.converted_reads << " "
+      << c.demand_full_writes << " " << c.demand_diff_writes << " "
+      << c.conversion_writes << " " << c.scrub_senses << " "
+      << c.scrub_rewrites << " " << c.detected_uncorrectable << " "
+      << c.silent_corruptions << " " << c.cell_writes << " "
+      << c.read_energy_pj << " " << c.write_energy_pj << " "
+      << c.scrub_energy_pj << " " << s.reads_serviced << " "
+      << s.writes_serviced << " " << s.scrubs_serviced << " "
+      << s.write_cancellations << " " << s.read_latency_sum_ns << " "
+      << s.bank_busy_ns << " " << s.scrub_backlog_end << " "
+      << s.instructions << "\n";
+}
+
+}  // namespace
+
+RunResult run_scheme(readduo::SchemeKind kind, const trace::Workload& w,
+                     const readduo::ReadDuoOptions& opts,
+                     std::uint64_t seed) {
+  const std::uint64_t budget = instruction_budget();
+  const std::string key = cache_key(kind, w, opts, budget, seed);
+  RunResult result;
+  if (cache_enabled() && load_cached(key, result)) return result;
+
+  memsim::SimConfig cfg;
+  cfg.instructions_per_core = budget;
+  cfg.seed = seed;
+  readduo::SchemeEnv env = memsim::make_scheme_env(w, cfg.cpu, seed);
+  auto scheme = readduo::make_scheme(kind, env, opts);
+  memsim::Simulator sim(cfg, *scheme, w);
+  result.sim = sim.run();
+  result.counters = scheme->counters();
+  result.summary.scheme = scheme->name();
+  result.summary.exec_time = result.sim.exec_time;
+  result.summary.dynamic_energy_pj = result.counters.dynamic_energy_pj();
+  result.summary.static_watts = env.energy.static_watts;
+  result.summary.cells_per_line = scheme->cells_per_line();
+  result.summary.cell_writes =
+      static_cast<double>(result.counters.cell_writes);
+  if (cache_enabled()) store_cached(key, result);
+  return result;
+}
+
+const std::vector<readduo::SchemeKind>& paper_schemes() {
+  static const std::vector<readduo::SchemeKind> kSchemes = {
+      readduo::SchemeKind::kIdeal,   readduo::SchemeKind::kScrubbing,
+      readduo::SchemeKind::kMMetric, readduo::SchemeKind::kHybrid,
+      readduo::SchemeKind::kLwt,     readduo::SchemeKind::kSelect,
+  };
+  return kSchemes;
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += std::log(x);
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace rd::bench

@@ -1,0 +1,44 @@
+// Shared harness for the per-figure/table bench binaries.
+//
+// Each bench binary regenerates one table or figure of the paper. The
+// expensive full-system sweeps (Figures 9, 10, 11, 15 share the same runs)
+// are memoized to an on-disk cache under bench_cache/, keyed by the full
+// run configuration. Set READDUO_CACHE=0 to disable, READDUO_INSTR=<n>
+// to change the per-core instruction budget (default 6,000,000).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/simulator.h"
+#include "readduo/schemes.h"
+#include "stats/counters.h"
+#include "stats/edap.h"
+#include "trace/workload.h"
+
+namespace rd::bench {
+
+/// Everything a figure needs from one (workload, scheme) run.
+struct RunResult {
+  stats::RunSummary summary;
+  stats::Counters counters;
+  memsim::SimResult sim;
+};
+
+/// Per-core instruction budget: READDUO_INSTR or the 6M default.
+std::uint64_t instruction_budget();
+
+/// Run `kind` on `workload` (cached unless READDUO_CACHE=0).
+RunResult run_scheme(readduo::SchemeKind kind, const trace::Workload& w,
+                     const readduo::ReadDuoOptions& opts = {},
+                     std::uint64_t seed = 42);
+
+/// The paper's six evaluated schemes, in Figure 9 order.
+const std::vector<readduo::SchemeKind>& paper_schemes();
+
+/// Geometric mean of a vector of ratios (the "average" of Figures 9-15;
+/// robust to the ratio scale).
+double geomean(const std::vector<double>& xs);
+
+}  // namespace rd::bench

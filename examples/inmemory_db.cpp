@@ -1,0 +1,77 @@
+// The Section III-C motivating scenario: an in-memory database is built
+// once, then queried for a long time. Query reads hit data written far
+// more than 640 s ago, so plain last-writes tracking would pay the 600 ns
+// R-M-read on every access — this is exactly what the R-M-read -> write
+// conversion fixes. We run the query phase under four schemes and compare.
+//
+//   $ ./inmemory_db [instructions_per_core]
+#include <cstdio>
+#include <cstdlib>
+
+#include "memsim/env.h"
+#include "memsim/simulator.h"
+#include "readduo/schemes.h"
+#include "stats/report.h"
+#include "trace/workload.h"
+
+using namespace rd;
+
+int main(int argc, char** argv) {
+  const std::uint64_t budget =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6'000'000;
+
+  // A query-phase workload: read-dominated, 70% of reads against a compact
+  // table space written hours ago and scanned cyclically.
+  trace::Workload db;
+  db.name = "querydb";
+  db.rpki = 2.5;
+  db.wpki = 0.15;
+  db.footprint_lines = 1u << 19;
+  db.zipf_s = 0.6;
+  db.archive_read_fraction = 0.70;
+  db.archive_age_scale = 3600.0 * 24;  // built yesterday
+  db.archive_lines = 1u << 12;
+  db.archive_scan = true;
+
+  std::printf("In-memory DB query phase: %.1f RPKI / %.2f WPKI, %.0f%% of "
+              "reads on day-old tables\n\n",
+              db.rpki, db.wpki, 100.0 * db.archive_read_fraction);
+
+  struct Variant {
+    const char* label;
+    readduo::SchemeKind kind;
+    bool conversion;
+  };
+  const Variant variants[] = {
+      {"M-metric (always 450ns)", readduo::SchemeKind::kMMetric, false},
+      {"Hybrid (W=0 scrub)", readduo::SchemeKind::kHybrid, false},
+      {"LWT-4, no conversion", readduo::SchemeKind::kLwt, false},
+      {"LWT-4, with conversion", readduo::SchemeKind::kLwt, true},
+  };
+
+  stats::Table t({"Scheme", "exec (ms)", "avg read (ns)", "R-reads",
+                  "R-M-reads", "conversions", "final T%"});
+  for (const Variant& v : variants) {
+    memsim::SimConfig cfg;
+    cfg.instructions_per_core = budget;
+    readduo::SchemeEnv env = memsim::make_scheme_env(db, cfg.cpu, 99);
+    readduo::ReadDuoOptions opts;
+    opts.conversion = v.conversion;
+    auto scheme = readduo::make_scheme(v.kind, env, opts);
+    memsim::Simulator sim(cfg, *scheme, db);
+    const memsim::SimResult r = sim.run();
+    const auto& c = scheme->counters();
+    t.add_row({v.label,
+               stats::fmt("%.2f", static_cast<double>(r.exec_time.v) * 1e-6),
+               stats::fmt("%.0f", r.avg_read_latency_ns()),
+               std::to_string(c.r_reads), std::to_string(c.rm_reads),
+               std::to_string(c.conversion_writes), "-"});
+  }
+  t.print();
+
+  std::printf("\nExpected shape: LWT without conversion is the slowest "
+              "variant on this access pattern\n(every table read is an "
+              "untracked 600 ns R-M-read); enabling conversion recovers "
+              "fast\nR-reads after the first scan of each table line.\n");
+  return 0;
+}

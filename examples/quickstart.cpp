@@ -1,0 +1,72 @@
+// Quickstart: the ReadDuo device stack in ~80 lines.
+//
+// Encodes a 64 B payload with BCH-8, programs it into a 296-cell MLC PCM
+// line, lets resistance drift act for ten minutes, and reads it back twice:
+// with fast current sensing (R-metric) and with drift-resilient voltage
+// sensing (M-metric). The BCH decoder cleans up whatever drift corrupted.
+//
+//   $ ./quickstart [seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "drift/metric.h"
+#include "ecc/bch.h"
+#include "pcm/line.h"
+
+using namespace rd;
+
+int main(int argc, char** argv) {
+  const double age = argc > 1 ? std::strtod(argv[1], nullptr) : 600.0;
+
+  // 1. A payload: 512 bits of "application data".
+  Rng rng(7);
+  BitVec payload(512);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload.set(i, rng.bernoulli(0.5));
+  }
+
+  // 2. Attach the BCH-8 code the paper puts on every memory line.
+  const ecc::BchCode bch(/*m=*/10, /*t=*/8, /*data_bits=*/512);
+  const BitVec codeword = bch.encode(payload);
+  std::printf("codeword: %u data bits + %u parity bits = %u bits "
+              "(%u MLC cells)\n",
+              bch.data_bits(), bch.parity_bits(), bch.codeword_bits(),
+              bch.codeword_bits() / 2);
+
+  // 3. Program a fresh MLC line at t = 0.
+  const drift::MetricConfig r_cfg = drift::r_metric();
+  const drift::MetricConfig m_cfg = drift::m_metric();
+  pcm::MlcLine line(codeword.size());
+  line.write_full(codeword, /*t_seconds=*/0.0, rng, r_cfg);
+
+  // 4. Let the cells drift, then sense with both metrics.
+  const std::size_t r_errors = line.count_drift_errors(age, r_cfg);
+  const std::size_t m_errors = line.count_drift_errors(age, m_cfg);
+  std::printf("after %.0f s: %zu cells misread under R-sensing, %zu under "
+              "M-sensing\n",
+              age, r_errors, m_errors);
+
+  // 5. R-read (150 ns in hardware) + BCH correction — the ReadDuo fast
+  //    path when the error count is within the code's power.
+  BitVec r_image = line.read(age, r_cfg);
+  const ecc::BchDecodeResult res = bch.decode(r_image);
+  if (res.corrected) {
+    bool ok = true;
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      ok = ok && r_image.get(i) == payload.get(i);
+    }
+    std::printf("R-read + BCH-8: corrected %u cells, payload %s\n",
+                res.num_corrected, ok ? "intact" : "CORRUPT");
+  } else {
+    // 6. The ReadDuo fallback: re-sense with the M-metric (450 ns),
+    //    which drifts 7x slower and reads the line cleanly.
+    std::printf("R-read failed (BCH detected more errors than it can "
+                "correct) -> falling back to M-read\n");
+    BitVec m_image = line.read(age, m_cfg);
+    const ecc::BchDecodeResult res2 = bch.decode(m_image);
+    std::printf("M-read + BCH-8: %s (%u corrected)\n",
+                res2.corrected ? "recovered" : "failed", res2.num_corrected);
+  }
+  return 0;
+}

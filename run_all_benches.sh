@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper, in order. The heavy
+# full-system sweeps share runs through bench_cache/.
+set -e
+cd "$(dirname "$0")"
+for b in \
+    bench_tables_1_2 bench_table3 bench_table4 bench_table5 bench_table7 \
+    bench_fig3 bench_fig4 bench_fig6 bench_fig9 bench_fig10 bench_fig11 \
+    bench_fig12 bench_fig13 bench_fig14 bench_fig15 \
+    bench_ablation_w1 bench_ablation_t bench_ext_wear \
+    bench_ext_rowbuffer bench_ext_temperature bench_ext_pausing \
+    bench_micro; do
+  echo "##### $b #####"
+  "./build/bench/$b"
+  echo
+done

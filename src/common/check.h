@@ -1,0 +1,46 @@
+// Lightweight precondition / invariant checking.
+//
+// RD_CHECK is active in all build types: a violated check is a programming
+// error and throws rd::CheckFailure with file/line context so tests can
+// assert on misuse of the public API.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rd {
+
+/// Thrown when an RD_CHECK precondition is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace rd
+
+#define RD_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::rd::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define RD_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream rd_check_os_;                                \
+      rd_check_os_ << msg;                                            \
+      ::rd::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                 rd_check_os_.str());                 \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,117 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rd {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& in) {
+  Config cfg;
+  std::string line;
+  std::string section;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.resize(comment);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      RD_CHECK_MSG(t.back() == ']',
+                   "config line " << lineno << ": unterminated section");
+      section = trim(t.substr(1, t.size() - 2));
+      RD_CHECK_MSG(!section.empty(),
+                   "config line " << lineno << ": empty section name");
+      continue;
+    }
+    const std::size_t eq = t.find('=');
+    RD_CHECK_MSG(eq != std::string::npos,
+                 "config line " << lineno << ": expected key = value");
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    RD_CHECK_MSG(!key.empty(), "config line " << lineno << ": empty key");
+    const std::string full = section.empty() ? key : section + "." + key;
+    cfg.values_[full] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  RD_CHECK_MSG(static_cast<bool>(in), "cannot open config file: " << path);
+  return parse(in);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::size_t pos = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(it->second, &pos, 0);
+  } catch (const std::exception&) {
+    RD_CHECK_MSG(false, "config key " << key << ": not an integer: '"
+                                      << it->second << "'");
+  }
+  RD_CHECK_MSG(pos == it->second.size(),
+               "config key " << key << ": trailing junk in '" << it->second
+                             << "'");
+  return v;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    RD_CHECK_MSG(false, "config key " << key << ": not a number: '"
+                                      << it->second << "'");
+  }
+  RD_CHECK_MSG(pos == it->second.size(),
+               "config key " << key << ": trailing junk in '" << it->second
+                             << "'");
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  RD_CHECK_MSG(false, "config key " << key << ": not a boolean: '"
+                                    << it->second << "'");
+  return def;
+}
+
+}  // namespace rd

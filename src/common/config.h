@@ -1,0 +1,48 @@
+// Minimal INI-style configuration loader, so benches/examples/tools can be
+// parameterized without recompiling (the role NVMain/gem5 config files
+// play in the paper's methodology).
+//
+// Grammar: `[section]` headers, `key = value` pairs, `#` or `;` comments,
+// blank lines ignored. Keys are addressed as "section.key"; pairs before
+// any section header live in the "" section and are addressed by key
+// alone.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace rd {
+
+/// Parsed configuration: flat map of "section.key" -> raw string value.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from a stream. Throws CheckFailure on malformed lines.
+  static Config parse(std::istream& in);
+  /// Parse from a file. Throws CheckFailure if unreadable.
+  static Config load(const std::string& path);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters: return the default when the key is absent; throw
+  /// CheckFailure when present but unparseable.
+  std::string get_string(const std::string& key,
+                         const std::string& def = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// All keys, for diagnostics.
+  const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rd

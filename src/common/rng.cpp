@@ -1,0 +1,160 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rd {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+  // Guard against the all-zero state, which xoshiro cannot leave.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t n) {
+  RD_CHECK(n > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  // Box–Muller, discarding the second variate to keep the stream position
+  // a pure function of call count.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mu, double sigma) {
+  RD_CHECK(sigma >= 0.0);
+  return mu + sigma * normal();
+}
+
+double Rng::truncated_normal(double mu, double sigma, double c) {
+  RD_CHECK(c > 0.0);
+  if (sigma == 0.0) return mu;
+  for (;;) {
+    const double z = normal();
+    if (z >= -c && z <= c) return mu + sigma * z;
+  }
+}
+
+std::uint32_t Rng::binomial(std::uint32_t n, double p) {
+  RD_CHECK(p >= 0.0 && p <= 1.0);
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+
+  const double np = static_cast<double>(n) * p;
+  if (np > 50.0 && static_cast<double>(n) * (1.0 - p) > 50.0) {
+    // Normal approximation with continuity correction.
+    const double sd = std::sqrt(np * (1.0 - p));
+    double x = std::round(normal(np, sd));
+    if (x < 0.0) x = 0.0;
+    if (x > static_cast<double>(n)) x = static_cast<double>(n);
+    return static_cast<std::uint32_t>(x);
+  }
+
+  if (np < 10.0 && p <= 0.5) {
+    // Inversion by geometric skips (Devroye): O(np) expected time, exact.
+    const double log_q = std::log1p(-p);
+    std::uint32_t count = 0;
+    double i = -1.0;
+    for (;;) {
+      double u = uniform();
+      while (u <= 0.0) u = uniform();
+      i += 1.0 + std::floor(std::log(u) / log_q);
+      if (i >= static_cast<double>(n)) return count;
+      ++count;
+      if (count == n) return n;
+    }
+  }
+
+  // Moderate np: plain Bernoulli loop (n is at most a few hundred in all
+  // call sites that reach this branch).
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < n; ++i) count += bernoulli(p) ? 1u : 0u;
+  return count;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  RD_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  RD_CHECK(n > 0);
+  RD_CHECK(s >= 0.0);
+  if (n == 1) return 0;
+  if (s == 0.0) return uniform_below(n);
+
+  // Hörmann rejection-inversion over ranks 1..n; returns rank-1.
+  // H(x) = integral of x^-s; handle s == 1 separately.
+  const double nd = static_cast<double>(n);
+  auto H = [s](double x) {
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto H_inv = [s](double u) {
+    if (s == 1.0) return std::exp(u);
+    return std::pow(1.0 + u * (1.0 - s), 1.0 / (1.0 - s));
+  };
+
+  const double h_x1 = H(1.5) - 1.0;       // H(1.5) - f(1)
+  const double h_n = H(nd + 0.5);
+  for (;;) {
+    const double u = h_x1 + uniform() * (h_n - h_x1);
+    const double x = H_inv(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > nd) k = nd;
+    // Accept if u >= H(k + 0.5) - k^-s.
+    if (u >= H(k + 0.5) - std::pow(k, -s)) {
+      return static_cast<std::uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace rd

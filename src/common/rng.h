@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the simulator draw from rd::Rng, a
+// xoshiro256** generator with explicit seeding, so every experiment is
+// reproducible bit-for-bit from its seed. Distribution helpers cover the
+// needs of the device model and trace generators.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rd {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+///
+/// Satisfies UniformRandomBitGenerator, so it also composes with <random>
+/// distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  std::uint64_t operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t uniform_below(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (stateless variant; no cached spare so
+  /// the stream position is call-count deterministic).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mu, double sigma);
+
+  /// Normal truncated to [mu - c*sigma, mu + c*sigma] via rejection.
+  /// Requires c > 0; for the c ~ 2.7 used by the device model the rejection
+  /// rate is < 1%.
+  double truncated_normal(double mu, double sigma, double c);
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Binomial(n, p). Exact inversion for small n*p, normal approximation
+  /// with continuity correction beyond (n*p > 50), suitable for sampling
+  /// drift-error counts where p is tiny and n is a few hundred.
+  std::uint32_t binomial(std::uint32_t n, double p);
+
+  /// Geometric: number of failures before first success, P(success) = p.
+  /// Requires p in (0, 1].
+  std::uint64_t geometric(double p);
+
+  /// Sample from Zipf distribution over {0, .., n-1} with exponent s >= 0
+  /// (s = 0 degenerates to uniform). Uses rejection-inversion (Hörmann),
+  /// O(1) per draw.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rd

@@ -1,0 +1,52 @@
+// Strong unit types used across the simulator.
+//
+// Simulated time is kept in integral nanoseconds (no floating-point clock
+// skew); energies are double picojoules. Seconds enter only at the analytic
+// drift layer, which is pure math.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace rd {
+
+/// Simulated time in integral nanoseconds.
+struct Ns {
+  std::int64_t v = 0;
+
+  constexpr Ns() = default;
+  constexpr explicit Ns(std::int64_t ns) : v(ns) {}
+
+  friend constexpr Ns operator+(Ns a, Ns b) { return Ns{a.v + b.v}; }
+  friend constexpr Ns operator-(Ns a, Ns b) { return Ns{a.v - b.v}; }
+  constexpr Ns& operator+=(Ns o) { v += o.v; return *this; }
+  constexpr Ns& operator-=(Ns o) { v -= o.v; return *this; }
+  friend constexpr Ns operator*(Ns a, std::int64_t k) { return Ns{a.v * k}; }
+  friend constexpr Ns operator*(std::int64_t k, Ns a) { return Ns{a.v * k}; }
+  friend constexpr auto operator<=>(Ns a, Ns b) = default;
+
+  /// Convert to seconds (for the drift model, which works in seconds).
+  constexpr double seconds() const { return static_cast<double>(v) * 1e-9; }
+};
+
+constexpr Ns from_seconds(double s) {
+  return Ns{static_cast<std::int64_t>(s * 1e9)};
+}
+
+/// Dynamic energy in picojoules.
+struct Pj {
+  double v = 0.0;
+
+  constexpr Pj() = default;
+  constexpr explicit Pj(double pj) : v(pj) {}
+
+  friend constexpr Pj operator+(Pj a, Pj b) { return Pj{a.v + b.v}; }
+  constexpr Pj& operator+=(Pj o) { v += o.v; return *this; }
+  friend constexpr Pj operator*(Pj a, double k) { return Pj{a.v * k}; }
+  friend constexpr Pj operator*(double k, Pj a) { return Pj{a.v * k}; }
+  friend constexpr auto operator<=>(Pj a, Pj b) = default;
+
+  constexpr double joules() const { return v * 1e-12; }
+};
+
+}  // namespace rd

@@ -1,0 +1,70 @@
+// Readout-metric configurations (Tables I and II of the paper).
+//
+// Both the R-metric (current sensing) and M-metric (voltage sensing) follow
+// the empirical power-law drift model
+//     X(t) = X0 * (t / t0) ^ alpha
+// in log10 space: log10 X(t) = log10 X0 + alpha * log10(t / t0), with
+// log10 X0 drawn from a (truncated) normal per programmed state and alpha
+// normal with sigma_alpha = 0.4 * mu_alpha.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace rd::drift {
+
+/// Number of storage levels in a 2-bit MLC cell.
+inline constexpr std::size_t kNumStates = 4;
+
+/// Gray-coded data values per storage level (Table I): level 0..3 store
+/// '01', '11', '10', '00'. Adjacent levels differ in exactly one bit, so one
+/// drift error corrupts exactly one bit of the line.
+inline constexpr std::array<std::uint8_t, kNumStates> kLevelData = {0b01, 0b11,
+                                                                    0b10, 0b00};
+
+/// Per-state drift parameters in log10 units.
+struct StateParams {
+  double mu;           ///< mean of log10(metric) as programmed
+  double sigma;        ///< std-dev of log10(metric)
+  double mu_alpha;     ///< mean drift coefficient
+  double sigma_alpha;  ///< std-dev of drift coefficient
+};
+
+/// Full metric configuration: four states plus the programming geometry.
+struct MetricConfig {
+  std::string name;
+  std::array<StateParams, kNumStates> states;
+  /// Reference time t0 of the drift law, seconds.
+  double t0_seconds = 1.0;
+  /// Programmed range half-width, in sigmas (cells are written inside
+  /// mu +/- program_halfwidth * sigma).
+  double program_halfwidth = 2.746;
+  /// Read boundary half-width, in sigmas (a cell is misread once its
+  /// metric exceeds mu + boundary_halfwidth * sigma).
+  double boundary_halfwidth = 3.0;
+
+  /// Upper read boundary of state i (log10 units).
+  double upper_boundary(std::size_t i) const {
+    return states[i].mu + boundary_halfwidth * states[i].sigma;
+  }
+};
+
+/// Table I: R-metric (current sensing). States one decade apart starting at
+/// 1 kOhm; drift coefficients 0.001 / 0.02 / 0.06 / 0.10; sigma chosen so
+/// +/-3 sigma meets the inter-state midpoint (1/6 decade).
+MetricConfig r_metric();
+
+/// Table II: M-metric (voltage sensing). Same geometry 4 decades lower;
+/// drift coefficients 1/7 of the R-metric per [Sebastian et al.].
+MetricConfig m_metric();
+
+/// Extension: temperature-accelerated drift. The drift coefficient of GST
+/// grows roughly linearly with temperature over the operating range
+/// (~ +0.9%/K around 300 K in published measurements); this scales every
+/// state's mu_alpha/sigma_alpha accordingly. The configs above are at the
+/// reference 300 K (27 C).
+MetricConfig at_temperature(const MetricConfig& base, double celsius,
+                            double alpha_per_kelvin = 0.009);
+
+}  // namespace rd::drift

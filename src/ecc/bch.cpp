@@ -1,0 +1,188 @@
+#include "ecc/bch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rd::ecc {
+
+using gf::Elem;
+using gf::Field;
+using gf::Poly;
+
+BchCode::BchCode(unsigned m, unsigned t, unsigned data_bits)
+    : field_(m), t_(t), data_bits_(data_bits) {
+  RD_CHECK(t >= 1);
+  // g(x) = lcm of minimal polynomials of alpha^1 .. alpha^2t. Since minimal
+  // polynomials are either identical (same cyclotomic coset) or coprime,
+  // the lcm is the product over distinct cosets.
+  std::vector<std::uint32_t> seen_cosets;
+  Poly g = Poly::constant(1);
+  for (std::uint32_t s = 1; s <= 2 * t; ++s) {
+    auto coset = cyclotomic_coset(field_, s);
+    const std::uint32_t rep = *std::min_element(coset.begin(), coset.end());
+    if (std::find(seen_cosets.begin(), seen_cosets.end(), rep) !=
+        seen_cosets.end()) {
+      continue;
+    }
+    seen_cosets.push_back(rep);
+    g = Poly::mul(field_, g, minimal_polynomial(field_, s));
+  }
+  gen_ = g;
+  parity_bits_ = static_cast<unsigned>(g.degree());
+  RD_CHECK_MSG(data_bits_ + parity_bits_ <= field_.order(),
+               "payload too large for GF(2^" << m << ") BCH");
+  gen_bits_.resize(parity_bits_ + 1);
+  for (unsigned i = 0; i <= parity_bits_; ++i) {
+    const Elem c = gen_.coeff(i);
+    RD_CHECK(c == 0 || c == 1);
+    gen_bits_[i] = static_cast<std::uint8_t>(c);
+  }
+}
+
+BitVec BchCode::parity(const BitVec& data) const {
+  RD_CHECK(data.size() == data_bits_);
+  // LFSR division of x^parity * d(x) by g(x). Feed data bits from the
+  // highest power down (data bit j corresponds to x^(parity + j)).
+  std::vector<std::uint8_t> reg(parity_bits_, 0);
+  for (std::size_t j = data_bits_; j-- > 0;) {
+    const std::uint8_t feedback =
+        static_cast<std::uint8_t>(data.get(j)) ^ reg[parity_bits_ - 1];
+    for (std::size_t i = parity_bits_ - 1; i > 0; --i) {
+      reg[i] = reg[i - 1] ^ (feedback & gen_bits_[i]);
+    }
+    reg[0] = feedback & gen_bits_[0];
+  }
+  BitVec out(parity_bits_);
+  for (unsigned i = 0; i < parity_bits_; ++i) out.set(i, reg[i] != 0);
+  return out;
+}
+
+BitVec BchCode::encode(const BitVec& data) const {
+  const BitVec p = parity(data);
+  BitVec cw(codeword_bits());
+  for (unsigned i = 0; i < data_bits_; ++i) cw.set(i, data.get(i));
+  for (unsigned i = 0; i < parity_bits_; ++i) cw.set(data_bits_ + i, p.get(i));
+  return cw;
+}
+
+bool BchCode::syndromes(const BitVec& word, std::vector<Elem>& s) const {
+  RD_CHECK(word.size() == codeword_bits());
+  s.assign(2 * t_ + 1, 0);  // s[1..2t]; s[0] unused
+  bool all_zero = true;
+  // Polynomial position of bit: parity bit i -> x^i, data bit j ->
+  // x^(parity + j).
+  for (std::size_t bit = 0; bit < word.size(); ++bit) {
+    if (!word.get(bit)) continue;
+    const std::size_t pos =
+        bit < data_bits_ ? parity_bits_ + bit : bit - data_bits_;
+    for (unsigned k = 1; k <= 2 * t_; ++k) {
+      s[k] ^= field_.alpha_pow(static_cast<std::int64_t>(pos) * k);
+    }
+  }
+  for (unsigned k = 1; k <= 2 * t_; ++k) {
+    if (s[k] != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  return all_zero;
+}
+
+bool BchCode::is_codeword(const BitVec& codeword) const {
+  std::vector<Elem> s;
+  return syndromes(codeword, s);
+}
+
+BchDecodeResult BchCode::decode(BitVec& codeword) const {
+  BchDecodeResult result;
+  std::vector<Elem> s;
+  if (syndromes(codeword, s)) {
+    result.corrected = true;
+    result.num_corrected = 0;
+    return result;
+  }
+
+  // Berlekamp–Massey over GF(2^m): find the minimal LFSR C(x) generating
+  // the syndrome sequence.
+  std::vector<Elem> C = {1};
+  std::vector<Elem> B = {1};
+  unsigned L = 0;
+  unsigned shift = 1;
+  Elem b = 1;
+  auto coeff = [](const std::vector<Elem>& p, std::size_t i) -> Elem {
+    return i < p.size() ? p[i] : 0;
+  };
+  for (unsigned n = 0; n < 2 * t_; ++n) {
+    Elem d = s[n + 1];
+    for (unsigned i = 1; i <= L; ++i) {
+      d ^= field_.mul(coeff(C, i), s[n + 1 - i]);
+    }
+    if (d == 0) {
+      ++shift;
+    } else if (2 * L <= n) {
+      std::vector<Elem> T = C;
+      const Elem factor = field_.div(d, b);
+      if (C.size() < B.size() + shift) C.resize(B.size() + shift, 0);
+      for (std::size_t i = 0; i < B.size(); ++i) {
+        C[i + shift] ^= field_.mul(factor, B[i]);
+      }
+      L = n + 1 - L;
+      B = std::move(T);
+      b = d;
+      shift = 1;
+    } else {
+      const Elem factor = field_.div(d, b);
+      if (C.size() < B.size() + shift) C.resize(B.size() + shift, 0);
+      for (std::size_t i = 0; i < B.size(); ++i) {
+        C[i + shift] ^= field_.mul(factor, B[i]);
+      }
+      ++shift;
+    }
+  }
+  while (!C.empty() && C.back() == 0) C.pop_back();
+  const unsigned locator_degree = static_cast<unsigned>(C.size()) - 1;
+
+  if (L > t_ || locator_degree != L) {
+    result.detected_uncorrectable = true;
+    return result;
+  }
+
+  // Chien search: error at polynomial position p iff C(alpha^-p) == 0.
+  std::vector<std::size_t> error_positions;
+  const std::uint32_t n_full = field_.order();
+  for (std::uint32_t p = 0; p < n_full; ++p) {
+    Elem acc = 0;
+    for (std::size_t i = 0; i < C.size(); ++i) {
+      acc ^= field_.mul(
+          C[i], field_.alpha_pow(-static_cast<std::int64_t>(p) *
+                                 static_cast<std::int64_t>(i)));
+    }
+    if (acc == 0) {
+      error_positions.push_back(p);
+      if (error_positions.size() > L) break;
+    }
+  }
+
+  if (error_positions.size() != L) {
+    result.detected_uncorrectable = true;
+    return result;
+  }
+
+  // Map polynomial positions back to codeword bit indices; a position in
+  // the shortened (implicitly zero) region means decode failure.
+  for (std::size_t pos : error_positions) {
+    if (pos >= codeword_bits()) {
+      result.detected_uncorrectable = true;
+      return result;
+    }
+    const std::size_t bit =
+        pos < parity_bits_ ? data_bits_ + pos : pos - parity_bits_;
+    codeword.flip(bit);
+  }
+  result.corrected = true;
+  result.num_corrected = L;
+  return result;
+}
+
+}  // namespace rd::ecc

@@ -1,0 +1,80 @@
+// Binary BCH encoder/decoder.
+//
+// The paper attaches a BCH-8 code over GF(2^10) to each 512-bit MLC line:
+// 80 parity bits, correcting any 8 bit errors and (with detection decoupled
+// from correction, Section III-B) detecting up to 17. This is a complete
+// hard-decision implementation: systematic LFSR encoding, syndrome
+// computation, Berlekamp–Massey, and Chien search.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "gf/gf2m.h"
+#include "gf/poly.h"
+
+namespace rd::ecc {
+
+/// Outcome of a BCH decode attempt.
+struct BchDecodeResult {
+  /// True when the decoder produced a codeword (zero syndromes after fix).
+  bool corrected = false;
+  /// Number of bit positions flipped when corrected == true.
+  unsigned num_corrected = 0;
+  /// True when errors were detected but exceeded the correction power.
+  bool detected_uncorrectable = false;
+};
+
+/// A systematic, shortened binary BCH code.
+///
+/// Codewords are laid out data-first: bits [0, data_bits) carry the payload
+/// and bits [data_bits, data_bits + parity_bits) the parity. Shortening
+/// from n = 2^m - 1 is implicit (leading zero message bits).
+class BchCode {
+ public:
+  /// Build a t-error-correcting code over GF(2^m) for the given payload
+  /// size. Requires data_bits + parity <= 2^m - 1.
+  BchCode(unsigned m, unsigned t, unsigned data_bits);
+
+  unsigned t() const { return t_; }
+  unsigned data_bits() const { return data_bits_; }
+  unsigned parity_bits() const { return parity_bits_; }
+  unsigned codeword_bits() const { return data_bits_ + parity_bits_; }
+  /// Design distance 2t + 1.
+  unsigned design_distance() const { return 2 * t_ + 1; }
+
+  /// Encode payload (size data_bits) into a codeword (size codeword_bits).
+  BitVec encode(const BitVec& data) const;
+
+  /// Append parity in place: returns the parity bits for the payload.
+  BitVec parity(const BitVec& data) const;
+
+  /// Decode in place. Returns the decode outcome; when corrected, the
+  /// codeword argument holds the fixed codeword.
+  BchDecodeResult decode(BitVec& codeword) const;
+
+  /// Syndrome-only check: true iff the word is a codeword (no errors
+  /// detected). Cheaper than a full decode.
+  bool is_codeword(const BitVec& codeword) const;
+
+  /// The generator polynomial over GF(2) (bits are 0/1 coefficients).
+  const gf::Poly& generator() const { return gen_; }
+
+  const gf::Field& field() const { return field_; }
+
+ private:
+  /// Syndromes S_1 .. S_2t of the received word; returns true if all zero.
+  bool syndromes(const BitVec& word, std::vector<gf::Elem>& s) const;
+
+  gf::Field field_;
+  unsigned t_;
+  unsigned data_bits_;
+  unsigned parity_bits_;
+  gf::Poly gen_;
+  /// gen_ coefficients as a packed bitmask for the LFSR encoder.
+  std::vector<std::uint8_t> gen_bits_;
+};
+
+}  // namespace rd::ecc

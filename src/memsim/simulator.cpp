@@ -1,0 +1,345 @@
+#include "memsim/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rd::memsim {
+
+Simulator::Simulator(const SimConfig& cfg, readduo::Scheme& scheme,
+                     const trace::Workload& workload)
+    : cfg_(cfg), scheme_(scheme), rng_(cfg.seed ^ 0xabcdef12345ull) {
+  RD_CHECK(cfg.cpu.num_cores >= 1);
+  RD_CHECK(cfg.org.num_banks >= 1);
+  for (unsigned c = 0; c < cfg.cpu.num_cores; ++c) {
+    gens_.emplace_back(workload, c, cfg.seed);
+    Core core;
+    core.budget = cfg.instructions_per_core;
+    cores_.push_back(core);
+  }
+  banks_.resize(cfg.org.num_banks);
+  bank_op_.assign(cfg.org.num_banks, BankOp::kNone);
+  bank_read_.resize(cfg.org.num_banks);
+  bank_scrub_rewrites_.assign(cfg.org.num_banks, 0);
+
+  // Scrub period per bank: every line of the bank each S seconds, sensed
+  // one row (lines_per_scrub lines) per operation.
+  const double s = scheme_.scrub_interval_seconds();
+  if (s > 0.0) {
+    const double rows = static_cast<double>(cfg.org.lines_per_bank()) /
+                        static_cast<double>(cfg.org.lines_per_scrub);
+    const double period_ns = s * 1e9 / rows;
+    scrub_period_ = Ns{std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(period_ns + 0.5))};
+  }
+}
+
+void Simulator::schedule(Ns t, EventKind kind, unsigned index,
+                         std::uint64_t tag) {
+  events_.push(Event{t, seq_++, kind, index, tag});
+}
+
+SimResult Simulator::run() {
+  // Prime the cores and the scrub engines.
+  for (unsigned c = 0; c < cores_.size(); ++c) advance_core(c, Ns{0});
+  if (scrub_period_.v > 0) {
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+      // Stagger the scrub registers across banks.
+      banks_[b].next_scrub =
+          Ns{static_cast<std::int64_t>(b) * scrub_period_.v /
+             static_cast<std::int64_t>(banks_.size())};
+      schedule(banks_[b].next_scrub, EventKind::kScrubTick, b);
+    }
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    switch (ev.kind) {
+      case EventKind::kCoreIssue:
+        core_issue(ev.index, ev.time);
+        break;
+      case EventKind::kBankDone:
+        bank_done(ev.index, ev.time, ev.tag);
+        break;
+      case EventKind::kScrubTick:
+        scrub_tick(ev.index, ev.time);
+        break;
+    }
+    // Stop once every core retired its budget; in-flight scrub ticks
+    // would otherwise keep the queue alive forever.
+    bool all_done = true;
+    for (const Core& c : cores_) all_done = all_done && c.done;
+    if (all_done) break;
+  }
+
+  Ns finish{0};
+  std::uint64_t instructions = 0;
+  for (const Core& c : cores_) {
+    finish = std::max(finish, c.finish_time);
+    instructions += cfg_.instructions_per_core - c.budget;
+  }
+  result_.exec_time = finish;
+  result_.instructions = instructions;
+  for (const Bank& b : banks_) result_.scrub_backlog_end += b.scrub_backlog;
+  return result_;
+}
+
+// Advance a core past its current operation: charge the instruction gap
+// and schedule the issue of the next memory operation.
+void Simulator::advance_core(unsigned core_id, Ns now) {
+  Core& core = cores_[core_id];
+  if (core.done) return;
+  if (!core.has_pending) {
+    core.pending = gens_[core_id].next();
+    core.has_pending = true;
+    // Charge the compute gap (+1 for the memory instruction itself).
+    const std::uint64_t instrs =
+        std::min<std::uint64_t>(core.pending.gap_instructions + 1,
+                                core.budget);
+    core.budget -= instrs;
+    if (core.budget == 0) {
+      // Budget exhausted during the gap: the core finishes after the
+      // remaining compute, without issuing the pending op.
+      core.done = true;
+      core.finish_time = now + cfg_.cpu.compute_time(instrs);
+      return;
+    }
+    schedule(now + cfg_.cpu.compute_time(instrs), EventKind::kCoreIssue,
+             core_id);
+  }
+}
+
+void Simulator::core_issue(unsigned core_id, Ns now) {
+  Core& core = cores_[core_id];
+  if (core.done) return;
+  if (!core.has_pending) {
+    // Resumed after a read completion: fetch and schedule the next op.
+    advance_core(core_id, now);
+    return;
+  }
+  const trace::MemOp op = core.pending;
+
+  if (op.is_write) {
+    if (!enqueue_write(op.line, WriteKind::kDemand, now)) {
+      // Write queue full: in-order core stalls; retried when the bank
+      // drains a write.
+      core.blocked_on_write_q = true;
+      return;
+    }
+    core.has_pending = false;
+    advance_core(core_id, now);
+  } else if (rng_.bernoulli(cfg_.cpu.read_stall_fraction)) {
+    core.blocked_on_read = true;
+    enqueue_read(core_id, op, now, /*blocking=*/true);
+  } else {
+    // Overlapped read: occupies the memory system but the core continues.
+    enqueue_read(core_id, op, now, /*blocking=*/false);
+    core.has_pending = false;
+    advance_core(core_id, now);
+  }
+}
+
+void Simulator::enqueue_read(unsigned core, const trace::MemOp& op, Ns now,
+                             bool blocking) {
+  const unsigned b = bank_of(op.line);
+  Bank& bank = banks_[b];
+  bank.read_q.push_back(ReadReq{core, op.line, op.archive, blocking, now});
+
+  // Write cancellation: a read arriving at a bank busy with a cancellable
+  // write preempts it; the write restarts later from scratch.
+  if (cfg_.write_cancellation && bank.busy && bank.write_in_service &&
+      bank.in_service.cancellations < cfg_.max_write_cancellations) {
+    ++result_.write_cancellations;
+    WriteReq aborted = bank.in_service;
+    ++aborted.cancellations;
+    if (cfg_.write_preemption == WritePreemption::kPause) {
+      // Pausing keeps the completed P&V iterations: only the remaining
+      // latency is owed when the write resumes.
+      aborted.latency = bank.busy_until - now;
+    }
+    bank.write_q.push_front(aborted);
+    // The bank becomes free now; the queued read dispatches immediately.
+    result_.bank_busy_ns -= (bank.busy_until - now).v;
+    bank.busy = false;
+    bank.write_in_service = false;
+    bank_op_[b] = BankOp::kNone;
+    dispatch(b, now);
+  } else if (!bank.busy) {
+    dispatch(b, now);
+  }
+}
+
+bool Simulator::enqueue_write(std::uint64_t line, WriteKind kind, Ns now) {
+  const unsigned b = bank_of(line);
+  Bank& bank = banks_[b];
+  if (kind == WriteKind::kDemand &&
+      bank.write_q.size() >= cfg_.write_queue_depth) {
+    return false;
+  }
+  if (kind == WriteKind::kScrubRewrite &&
+      bank.write_q.size() >= cfg_.write_queue_depth) {
+    // Backpressure: the scrub engine paces its rewrites so background
+    // maintenance can never starve demand traffic out of the queue.
+    ++result_.scrub_rewrites_dropped;
+    return true;
+  }
+  // Plan the write now so the scheme's line state reflects program order.
+  readduo::WriteOutcome out;
+  switch (kind) {
+    case WriteKind::kDemand:
+      out = scheme_.on_write(line, now);
+      break;
+    case WriteKind::kConversion:
+      out = scheme_.on_converted_write(line, now);
+      break;
+    case WriteKind::kScrubRewrite:
+      out = scheme_.on_scrub_rewrite(now);
+      break;
+  }
+  bank.write_q.push_back(WriteReq{line, kind, out.latency, 0});
+  if (!bank.busy) dispatch(b, now);
+  return true;
+}
+
+void Simulator::dispatch(unsigned b, Ns now) {
+  Bank& bank = banks_[b];
+  RD_CHECK(!bank.busy);
+
+  const bool scrub_urgent =
+      bank.scrub_backlog > cfg_.scrub_priority_backlog;
+
+  if (!bank.read_q.empty()) {
+    // Reads first, FCFS.
+    const ReadReq req = bank.read_q.front();
+    bank.read_q.pop_front();
+    const readduo::ReadOutcome out =
+        scheme_.on_read(req.line, now, req.archive);
+    Ns latency = out.latency;
+    if (cfg_.row_buffer.enabled) {
+      const std::uint64_t row = req.line / cfg_.row_buffer.lines_per_row;
+      if (bank.open_row == row) {
+        latency = std::min(latency, cfg_.row_buffer.hit_latency);
+        ++result_.row_hits;
+      }
+      bank.open_row = row;
+    }
+    bank.busy = true;
+    bank.busy_until = now + latency;
+    bank_op_[b] = BankOp::kRead;
+    bank_read_[b] = req;
+    result_.bank_busy_ns += latency.v;
+    // A converted R-M-read writes the line back as a low-priority write.
+    if (out.convert_to_write) {
+      enqueue_write(req.line, WriteKind::kConversion, now);
+    }
+    schedule(bank.busy_until, EventKind::kBankDone, b, ++bank.op_tag);
+    return;
+  }
+
+  const auto start_scrub = [&] {
+    // The scrub register points at an unrelated row: it evicts whatever
+    // demand row was latched.
+    if (cfg_.row_buffer.enabled) bank.open_row = ~0ull;
+    const readduo::ScrubOutcome s =
+        scheme_.on_scrub(now, cfg_.org.lines_per_scrub);
+    --bank.scrub_backlog;
+    bank.busy = true;
+    bank.busy_until = now + s.sense_latency;
+    bank_op_[b] = BankOp::kScrubSense;
+    bank_scrub_rewrites_[b] = s.rewrites;
+    result_.bank_busy_ns += s.sense_latency.v;
+    schedule(bank.busy_until, EventKind::kBankDone, b, ++bank.op_tag);
+  };
+
+  if (scrub_urgent && bank.scrub_backlog > 0) {
+    start_scrub();
+    return;
+  }
+
+  if (!bank.write_q.empty()) {
+    const WriteReq req = bank.write_q.front();
+    bank.write_q.pop_front();
+    if (cfg_.row_buffer.enabled) {
+      // Writes update the latched row (write-through to the array; the
+      // P&V latency itself is unaffected).
+      bank.open_row = req.line / cfg_.row_buffer.lines_per_row;
+    }
+    bank.busy = true;
+    bank.busy_until = now + req.latency;
+    bank.write_in_service = true;
+    bank.in_service = req;
+    bank_op_[b] = BankOp::kWrite;
+    result_.bank_busy_ns += req.latency.v;
+    schedule(bank.busy_until, EventKind::kBankDone, b, ++bank.op_tag);
+    // A write-queue slot freed: unblock stalled cores.
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+      if (cores_[c].blocked_on_write_q) {
+        cores_[c].blocked_on_write_q = false;
+        schedule(now, EventKind::kCoreIssue, c);
+      }
+    }
+    return;
+  }
+
+  if (bank.scrub_backlog > 0) start_scrub();
+}
+
+void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
+  Bank& bank = banks_[b];
+  if (!bank.busy || tag != bank.op_tag) {
+    // Stale completion from a cancelled write.
+    return;
+  }
+  const BankOp op = bank_op_[b];
+  bank.busy = false;
+  bank.write_in_service = false;
+  bank_op_[b] = BankOp::kNone;
+
+  switch (op) {
+    case BankOp::kRead: {
+      const ReadReq req = bank_read_[b];
+      // Serialize the 64 B transfer on the shared channel.
+      const Ns bus_start = std::max(now, bus_busy_until_);
+      bus_busy_until_ = bus_start + cfg_.timing.bus_transfer;
+      const Ns complete = bus_busy_until_;
+      ++result_.reads_serviced;
+      result_.read_latency_sum_ns += (complete - req.enqueue_time).v;
+      if (req.blocking) {
+        Core& core = cores_[req.core];
+        RD_CHECK(core.blocked_on_read);
+        core.blocked_on_read = false;
+        core.has_pending = false;
+        // Resume execution once the data arrives.
+        schedule(complete, EventKind::kCoreIssue, req.core);
+      }
+      break;
+    }
+    case BankOp::kWrite:
+      ++result_.writes_serviced;
+      break;
+    case BankOp::kScrubSense:
+      ++result_.scrubs_serviced;
+      for (unsigned i = 0; i < bank_scrub_rewrites_[b]; ++i) {
+        enqueue_write(/*line=*/b, WriteKind::kScrubRewrite, now);
+      }
+      break;
+    case BankOp::kNone:
+      RD_CHECK_MSG(false, "bank completion with no op in service");
+  }
+  if (!bank.busy) dispatch(b, now);
+}
+
+void Simulator::scrub_tick(unsigned b, Ns now) {
+  Bank& bank = banks_[b];
+  ++bank.scrub_backlog;
+  bank.next_scrub += scrub_period_;
+  // Keep ticking only while some core still executes; otherwise the event
+  // queue would never drain.
+  bool all_done = true;
+  for (const Core& c : cores_) all_done = all_done && c.done;
+  if (!all_done) schedule(bank.next_scrub, EventKind::kScrubTick, b);
+  if (!bank.busy) dispatch(b, now);
+}
+
+}  // namespace rd::memsim

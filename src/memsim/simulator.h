@@ -1,0 +1,219 @@
+// Event-driven memory-system simulator (Section IV methodology).
+//
+// Models a 4-core in-order CPU fed by per-core synthetic traces, a memory
+// controller with per-bank read/write queues, read-priority scheduling
+// with write cancellation [18], a shared data bus, and a per-bank scrub
+// engine walking the scrub register at the scheme's interval. All policy
+// decisions (sensing mode, rewrite-or-not, differential writes) are
+// delegated to the readduo::Scheme.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "pcm/params.h"
+#include "readduo/scheme.h"
+#include "trace/generator.h"
+
+namespace rd::memsim {
+
+/// Optional open-page row-buffer model (extension; the paper's baseline
+/// is closed-page). A hit means the target row is already latched in the
+/// bank's sense amplifiers, so the access skips the cell sensing phase.
+struct RowBufferParams {
+  bool enabled = false;
+  /// Consecutive lines latched per activation.
+  unsigned lines_per_row = 16;
+  /// Latency of an access served from the latched row (replaces the
+  /// sensing part of the scheme's latency; never increases it).
+  Ns hit_latency{60};
+};
+
+/// How line addresses map to banks.
+enum class AddressMap {
+  /// Consecutive lines round-robin across banks (maximum bank-level
+  /// parallelism; the closed-page baseline).
+  kLineInterleave,
+  /// Consecutive lines fill a row before switching banks (pairs with the
+  /// open-page row buffer: sequential streams hit the latched row).
+  kRowInterleave,
+};
+
+/// What happens to an in-flight write preempted by a read.
+enum class WritePreemption {
+  /// Write cancellation [18]: the write restarts from scratch later (the
+  /// paper's baseline).
+  kCancel,
+  /// Write pausing [11-style]: the write resumes with only its remaining
+  /// P&V iterations.
+  kPause,
+};
+
+/// Simulator knobs (Table VIII baseline).
+struct SimConfig {
+  pcm::CpuParams cpu;
+  pcm::MemoryOrg org;
+  pcm::TimingParams timing;
+  RowBufferParams row_buffer;
+  AddressMap address_map = AddressMap::kLineInterleave;
+  WritePreemption write_preemption = WritePreemption::kCancel;
+  /// Per-core instruction budget; the run ends when every core retires it.
+  std::uint64_t instructions_per_core = 10'000'000;
+  std::uint64_t seed = 1;
+  unsigned write_queue_depth = 32;
+  bool write_cancellation = true;
+  /// A write cancelled this many times becomes non-cancellable (forward
+  /// progress guarantee).
+  unsigned max_write_cancellations = 4;
+  /// Scrub backlog (in scrub periods) beyond which scrubs outrank writes.
+  unsigned scrub_priority_backlog = 8;
+};
+
+/// Aggregate outcome of one run; per-event detail lives in the scheme's
+/// Counters.
+struct SimResult {
+  Ns exec_time{0};
+  std::uint64_t instructions = 0;
+  std::uint64_t reads_serviced = 0;
+  std::uint64_t writes_serviced = 0;
+  std::uint64_t scrubs_serviced = 0;
+  std::uint64_t write_cancellations = 0;
+  /// Sum of (completion - issue) over demand reads, for average latency.
+  std::int64_t read_latency_sum_ns = 0;
+  /// Sum of bank busy time over all banks, for utilization.
+  std::int64_t bank_busy_ns = 0;
+  /// Scrub ticks that were still pending when the run ended.
+  std::uint64_t scrub_backlog_end = 0;
+  /// Scrub rewrites the engine had to skip because the bank's write queue
+  /// was full (backpressure pacing; the line is caught on a later pass).
+  std::uint64_t scrub_rewrites_dropped = 0;
+  /// Row-buffer hits among demand reads (0 unless row_buffer.enabled).
+  std::uint64_t row_hits = 0;
+
+  double avg_read_latency_ns() const {
+    return reads_serviced
+               ? static_cast<double>(read_latency_sum_ns) /
+                     static_cast<double>(reads_serviced)
+               : 0.0;
+  }
+  double ipc(const pcm::CpuParams& cpu) const {
+    const double cycles =
+        static_cast<double>(exec_time.v) * cpu.clock_ghz;
+    return cycles > 0 ? static_cast<double>(instructions) / cycles : 0.0;
+  }
+};
+
+/// One simulation: a workload run under a scheme.
+class Simulator {
+ public:
+  Simulator(const SimConfig& cfg, readduo::Scheme& scheme,
+            const trace::Workload& workload);
+
+  /// Run to completion and return the aggregate result. Single use.
+  SimResult run();
+
+ private:
+  struct ReadReq {
+    unsigned core;
+    std::uint64_t line;
+    bool archive;
+    /// True when the issuing core blocks until the data returns; false for
+    /// reads overlapped by hit-under-miss / prefetch (they still consume
+    /// bank and bus bandwidth).
+    bool blocking;
+    Ns enqueue_time;
+  };
+  enum class WriteKind { kDemand, kConversion, kScrubRewrite };
+  struct WriteReq {
+    std::uint64_t line;
+    WriteKind kind;
+    Ns latency;       ///< planned by the scheme at enqueue time
+    unsigned cancellations = 0;
+  };
+
+  struct Bank {
+    std::deque<ReadReq> read_q;
+    std::deque<WriteReq> write_q;
+    bool busy = false;
+    Ns busy_until{0};
+    /// Set while a cancellable write occupies the bank.
+    bool write_in_service = false;
+    WriteReq in_service{};
+    std::uint64_t scrub_backlog = 0;
+    Ns next_scrub{0};
+    /// Serial of the op currently in service (see Event::tag).
+    std::uint64_t op_tag = 0;
+    /// Currently latched row (open-page model); ~0 = none.
+    std::uint64_t open_row = ~0ull;
+  };
+
+  struct Core {
+    std::uint64_t budget = 0;     ///< instructions left to retire
+    bool blocked_on_read = false;
+    bool blocked_on_write_q = false;
+    bool done = false;
+    Ns finish_time{0};
+    trace::MemOp pending{};
+    bool has_pending = false;
+  };
+
+  // Event machinery: (time, seq) ordered min-heap.
+  enum class EventKind { kCoreIssue, kBankDone, kScrubTick };
+  struct Event {
+    Ns time;
+    std::uint64_t seq;
+    EventKind kind;
+    unsigned index;  ///< core or bank id
+    /// For kBankDone: the dispatch serial this completion belongs to, so
+    /// completions of cancelled writes are recognized as stale.
+    std::uint64_t tag = 0;
+    bool operator>(const Event& o) const {
+      return time.v != o.time.v ? time.v > o.time.v : seq > o.seq;
+    }
+  };
+
+  unsigned bank_of(std::uint64_t line) const {
+    if (cfg_.address_map == AddressMap::kRowInterleave) {
+      return static_cast<unsigned>((line / cfg_.row_buffer.lines_per_row) %
+                                   cfg_.org.num_banks);
+    }
+    return static_cast<unsigned>(line % cfg_.org.num_banks);
+  }
+
+  void schedule(Ns t, EventKind kind, unsigned index,
+                std::uint64_t tag = 0);
+  void core_issue(unsigned core, Ns now);
+  void advance_core(unsigned core, Ns now);
+  void bank_done(unsigned bank, Ns now, std::uint64_t tag);
+  void scrub_tick(unsigned bank, Ns now);
+  /// Start the next piece of work on an idle bank, if any.
+  void dispatch(unsigned bank, Ns now);
+  void enqueue_read(unsigned core, const trace::MemOp& op, Ns now,
+                    bool blocking);
+  /// Returns false when the write queue is full (core must block).
+  bool enqueue_write(std::uint64_t line, WriteKind kind, Ns now);
+
+  SimConfig cfg_;
+  readduo::Scheme& scheme_;
+  Rng rng_;
+  std::vector<trace::TraceGen> gens_;
+  std::vector<Core> cores_;
+  std::vector<Bank> banks_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  Ns bus_busy_until_{0};
+  Ns scrub_period_{0};
+  SimResult result_;
+
+  // What the bank is currently doing, to route the completion.
+  enum class BankOp { kNone, kRead, kWrite, kScrubSense };
+  std::vector<BankOp> bank_op_;
+  std::vector<ReadReq> bank_read_;   ///< in-service read per bank
+  std::vector<unsigned> bank_scrub_rewrites_;
+};
+
+}  // namespace rd::memsim

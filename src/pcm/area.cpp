@@ -1,0 +1,26 @@
+#include "pcm/area.h"
+
+namespace rd::pcm {
+
+SubarrayArea subarray_area(const AreaParams& p, bool with_readduo) {
+  SubarrayArea a;
+  a.data_array = p.cell_f2 * static_cast<double>(p.rows) *
+                 static_cast<double>(p.cols);
+  a.row_decoder = p.row_decoder_f2 * static_cast<double>(p.rows);
+  a.column_periphery = (p.column_mux_f2 + p.precharge_f2) *
+                       static_cast<double>(p.cols);
+  a.current_sense =
+      p.current_sa_f2 * static_cast<double>(p.num_sense_amps());
+  a.voltage_sense =
+      with_readduo ? p.voltage_sa_f2 * static_cast<double>(p.num_sense_amps())
+                   : 0.0;
+  return a;
+}
+
+double readduo_area_increase(const AreaParams& p) {
+  const double base = subarray_area(p, false).total();
+  const double enhanced = subarray_area(p, true).total();
+  return (enhanced - base) / base;
+}
+
+}  // namespace rd::pcm

@@ -1,0 +1,54 @@
+// NVSim-style subarray area model (Section III-E, Table VII).
+//
+// ReadDuo adds a voltage-mode sense path next to the traditional
+// current-mode one. The current-mode path needs an I-V converter per sense
+// amplifier and is therefore much larger; the added voltage-mode amplifier
+// costs ~0.27% of subarray area overall — the number NVSim gave the
+// authors and which this model reproduces from feature-size constants.
+#pragma once
+
+#include <cstddef>
+
+namespace rd::pcm {
+
+/// Area constants in units of F^2 (F = feature size); only ratios matter.
+struct AreaParams {
+  double cell_f2 = 9.6;            ///< MLC PCM cell with access device
+  double current_sa_f2 = 3000.0;   ///< current-mode SA incl. I-V converter
+  double voltage_sa_f2 = 800.0;    ///< voltage-mode SA (no converter)
+  double row_decoder_f2 = 120.0;   ///< per row
+  double column_mux_f2 = 60.0;     ///< per column
+  double precharge_f2 = 40.0;      ///< per column
+
+  /// Subarray geometry: the paper's 2 GB bank has 32 mats of 16 subarrays;
+  /// one subarray is 4096 x 4096 cells with an 8:1 column mux.
+  std::size_t rows = 4096;
+  std::size_t cols = 4096;
+  std::size_t column_mux_ratio = 8;
+
+  std::size_t num_sense_amps() const { return cols / column_mux_ratio; }
+};
+
+/// Area breakdown of one subarray, in F^2.
+struct SubarrayArea {
+  double data_array = 0.0;
+  double row_decoder = 0.0;
+  double column_periphery = 0.0;  ///< mux + precharge
+  double current_sense = 0.0;
+  double voltage_sense = 0.0;     ///< zero for a conventional subarray
+
+  double control_logic() const {
+    return row_decoder + column_periphery + current_sense + voltage_sense;
+  }
+  double total() const { return data_array + control_logic(); }
+};
+
+/// Compute the subarray breakdown; with_readduo adds the voltage-mode
+/// sense path (hybrid S/A of Figure 8).
+SubarrayArea subarray_area(const AreaParams& p, bool with_readduo);
+
+/// Fractional area increase of the ReadDuo subarray over the conventional
+/// one (the paper reports 0.27%).
+double readduo_area_increase(const AreaParams& p = {});
+
+}  // namespace rd::pcm

@@ -1,0 +1,58 @@
+#include "pcm/cell.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rd::pcm {
+
+void Cell::program(std::size_t level, double t_write_seconds, Rng& rng,
+                   const drift::MetricConfig& cfg) {
+  RD_CHECK(level < drift::kNumStates);
+  level_ = level;
+  t_write_ = t_write_seconds;
+  // The programming percentile is write noise: redrawn per program. The
+  // drift percentile is cell-intrinsic process variation: drawn once and
+  // kept, so a fast-drifting cell drifts fast after every rewrite. Both
+  // map through either metric config, keeping R and M readouts of the
+  // same cell physically consistent.
+  z_program_ = rng.truncated_normal(0.0, 1.0, cfg.program_halfwidth);
+  if (!has_identity_) {
+    z_alpha_ = rng.normal();
+    has_identity_ = true;
+  }
+}
+
+double Cell::metric_at(double t_seconds,
+                       const drift::MetricConfig& cfg) const {
+  const drift::StateParams& sp = cfg.states[level_];
+  const double x0 = sp.mu + z_program_ * sp.sigma;
+  const double alpha = sp.mu_alpha + z_alpha_ * sp.sigma_alpha;
+  const double age = t_seconds - t_write_;
+  if (age <= cfg.t0_seconds) return x0;
+  return x0 + alpha * std::log10(age / cfg.t0_seconds);
+}
+
+void Cell::set_stuck(std::size_t level) {
+  RD_CHECK(level < drift::kNumStates);
+  stuck_ = true;
+  stuck_level_ = level;
+}
+
+std::size_t Cell::read_level(double t_seconds,
+                             const drift::MetricConfig& cfg) const {
+  if (stuck_) return stuck_level_;
+  const double x = metric_at(t_seconds, cfg);
+  // Two-round reference comparison (Ref2 then Ref1/Ref3); equivalent to
+  // locating x among the three upper boundaries.
+  std::size_t level = drift::kNumStates - 1;
+  for (std::size_t i = 0; i + 1 < drift::kNumStates; ++i) {
+    if (x <= cfg.upper_boundary(i)) {
+      level = i;
+      break;
+    }
+  }
+  return level;
+}
+
+}  // namespace rd::pcm

@@ -1,0 +1,62 @@
+// Monte-Carlo MLC PCM cell model.
+//
+// A cell's physical configuration (amorphous thickness u_a) determines both
+// its R-metric and M-metric. We model this by drawing a single programming
+// percentile and a single drift-activation percentile per cell and mapping
+// them through both metric configurations, so the two readouts of one cell
+// are consistent: a cell whose R drifts hard also sits high in the (much
+// slower) M drift distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "drift/metric.h"
+
+namespace rd::pcm {
+
+/// One programmed MLC cell. Value-type; the line owns an array of these.
+class Cell {
+ public:
+  /// Program the cell to `level` at absolute time t_write (seconds). Draws
+  /// a fresh programming percentile (truncated normal); the cell's drift
+  /// percentile is process variation — drawn once on the first program and
+  /// persistent across reprograms (a fast-drifting cell stays fast).
+  void program(std::size_t level, double t_write_seconds, Rng& rng,
+               const drift::MetricConfig& cfg);
+
+  std::size_t programmed_level() const { return level_; }
+  double write_time() const { return t_write_; }
+
+  /// The metric value (log10 units) at absolute time t under `cfg`.
+  /// Before t_write + t0 the drift term is zero (the drift law starts at
+  /// t0 after programming).
+  double metric_at(double t_seconds, const drift::MetricConfig& cfg) const;
+
+  /// Read out the level at time t by comparing against the reference
+  /// boundaries of `cfg` (three references, Section II-A). Drift only
+  /// increases the metric, so a misread returns a higher level.
+  std::size_t read_level(double t_seconds,
+                         const drift::MetricConfig& cfg) const;
+
+  /// True if reading at time t under cfg would return the wrong level.
+  bool drift_error(double t_seconds, const drift::MetricConfig& cfg) const {
+    return read_level(t_seconds, cfg) != level_;
+  }
+
+  /// Endurance wear-out: pin the cell to a fixed level. Programming no
+  /// longer changes what it reads (a hard error for ECP to patch).
+  void set_stuck(std::size_t level);
+  bool is_stuck() const { return stuck_; }
+
+ private:
+  std::size_t level_ = 0;
+  double t_write_ = 0.0;
+  double z_program_ = 0.0;  ///< programming percentile, truncated normal
+  double z_alpha_ = 0.0;    ///< drift-coefficient percentile, standard normal
+  bool has_identity_ = false;
+  bool stuck_ = false;
+  std::size_t stuck_level_ = 0;
+};
+
+}  // namespace rd::pcm

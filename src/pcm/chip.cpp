@@ -1,0 +1,189 @@
+#include "pcm/chip.h"
+
+#include "common/check.h"
+
+namespace rd::pcm {
+
+MlcChip::MlcChip(ChipConfig cfg)
+    : cfg_(cfg),
+      r_cfg_(drift::r_metric()),
+      m_cfg_(drift::m_metric()),
+      bch_(/*m=*/10, cfg.bch_t, cfg.data_bytes * 8),
+      rng_(cfg.seed),
+      next_scrub_s_(cfg.scrub_interval_s) {
+  RD_CHECK(cfg.num_lines >= 1);
+  RD_CHECK(cfg.data_bytes >= 1);
+  const std::size_t bits = bch_.codeword_bits() + (bch_.codeword_bits() & 1);
+  const unsigned cells = static_cast<unsigned>(bits / 2);
+  lines_.reserve(cfg.num_lines);
+  for (std::size_t i = 0; i < cfg.num_lines; ++i) {
+    lines_.emplace_back(bits, cells, cfg.ecp_pointers);
+  }
+}
+
+BitVec MlcChip::encode(const std::vector<std::uint8_t>& data) const {
+  RD_CHECK_MSG(data.size() == cfg_.data_bytes,
+               "payload must be exactly " << cfg_.data_bytes << " bytes");
+  BitVec payload(cfg_.data_bytes * 8);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload.set(i, (data[i / 8] >> (i % 8)) & 1);
+  }
+  const BitVec cw = bch_.encode(payload);
+  // Pad to an even bit count (cells hold 2 bits).
+  BitVec padded(cw.size() + (cw.size() & 1));
+  for (std::size_t i = 0; i < cw.size(); ++i) padded.set(i, cw.get(i));
+  return padded;
+}
+
+std::vector<std::uint8_t> MlcChip::extract(const BitVec& codeword) const {
+  std::vector<std::uint8_t> data(cfg_.data_bytes, 0);
+  for (std::size_t i = 0; i < cfg_.data_bytes * 8; ++i) {
+    if (codeword.get(i)) {
+      data[i / 8] = static_cast<std::uint8_t>(data[i / 8] | (1u << (i % 8)));
+    }
+  }
+  return data;
+}
+
+BitVec MlcChip::sense(const LineSlot& slot,
+                      const drift::MetricConfig& cfg) const {
+  // Raw cell readout...
+  std::vector<std::uint8_t> values(slot.cells.num_cells());
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    values[c] =
+        drift::kLevelData[slot.cells.cells()[c].read_level(now_s_, cfg)];
+  }
+  // ...with ECP supplying retired cells' true values.
+  slot.ecp.patch(values);
+  BitVec bits(slot.cells.num_bits());
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    bits.set(2 * c, (values[c] >> 1) & 1);
+    bits.set(2 * c + 1, values[c] & 1);
+  }
+  return bits;
+}
+
+void MlcChip::program(LineSlot& slot, const BitVec& codeword) {
+  slot.cells.write_full(codeword, now_s_, rng_, r_cfg_);
+  slot.last_write_s = now_s_;
+  slot.written = true;
+  ++stats_.writes;
+
+  // Verify-after-write: a cell that fails to take its value is stuck;
+  // retire it into ECP and remember its intended value.
+  std::vector<std::uint8_t> want(slot.cells.num_cells());
+  for (std::size_t c = 0; c < want.size(); ++c) {
+    const std::uint8_t hi = codeword.get(2 * c) ? 1 : 0;
+    const std::uint8_t lo = codeword.get(2 * c + 1) ? 1 : 0;
+    want[c] = static_cast<std::uint8_t>((hi << 1) | lo);
+    const Cell& cell = slot.cells.cells()[c];
+    if (cell.is_stuck() &&
+        drift::kLevelData[cell.read_level(now_s_, r_cfg_)] != want[c] &&
+        !slot.ecp.is_retired(static_cast<unsigned>(c))) {
+      RD_CHECK_MSG(slot.ecp.retire_cell(static_cast<unsigned>(c)),
+                   "line out of ECP pointers: decommission required");
+      ++stats_.cells_retired;
+    }
+  }
+  slot.ecp.store(want);
+}
+
+void MlcChip::write(std::size_t line, const std::vector<std::uint8_t>& data) {
+  RD_CHECK(line < lines_.size());
+  program(lines_[line], encode(data));
+}
+
+ChipReadResult MlcChip::read(std::size_t line) {
+  RD_CHECK(line < lines_.size());
+  LineSlot& slot = lines_[line];
+  RD_CHECK_MSG(slot.written, "reading a never-written line");
+  ++stats_.reads;
+
+  ChipReadResult result;
+  const bool try_r = cfg_.readout != ReadoutPolicy::kMSense;
+  if (try_r) {
+    BitVec image = sense(slot, r_cfg_);
+    BitVec cw(bch_.codeword_bits());
+    for (std::size_t i = 0; i < cw.size(); ++i) cw.set(i, image.get(i));
+    const ecc::BchDecodeResult dec = bch_.decode(cw);
+    if (dec.corrected) {
+      result.data = extract(cw);
+      result.corrected = true;
+      result.errors_corrected = dec.num_corrected;
+      return result;
+    }
+    if (cfg_.readout == ReadoutPolicy::kRSense) {
+      // No fallback: return the raw (uncorrected) data.
+      ++stats_.uncorrectable;
+      result.data = extract(cw);
+      return result;
+    }
+  }
+
+  // M-sense path (primary for kMSense, fallback for kHybrid).
+  result.used_m_sense = true;
+  if (cfg_.readout == ReadoutPolicy::kHybrid) ++stats_.m_fallbacks;
+  BitVec image = sense(slot, m_cfg_);
+  BitVec cw(bch_.codeword_bits());
+  for (std::size_t i = 0; i < cw.size(); ++i) cw.set(i, image.get(i));
+  const ecc::BchDecodeResult dec = bch_.decode(cw);
+  result.data = extract(cw);
+  result.corrected = dec.corrected;
+  result.errors_corrected = dec.num_corrected;
+  if (!dec.corrected) ++stats_.uncorrectable;
+  return result;
+}
+
+void MlcChip::inject_stuck_cell(std::size_t line, unsigned cell,
+                                unsigned level) {
+  RD_CHECK(line < lines_.size());
+  RD_CHECK(cell < lines_[line].cells.num_cells());
+  lines_[line].cells.cell_at(cell).set_stuck(level);
+}
+
+double MlcChip::line_age(std::size_t line) const {
+  RD_CHECK(line < lines_.size());
+  RD_CHECK(lines_[line].written);
+  return now_s_ - lines_[line].last_write_s;
+}
+
+void MlcChip::advance_time(double seconds) {
+  RD_CHECK(seconds >= 0.0);
+  const double target = now_s_ + seconds;
+  if (cfg_.scrub_interval_s > 0.0) {
+    while (next_scrub_s_ <= target) {
+      now_s_ = next_scrub_s_;
+      run_scrub_pass();
+      next_scrub_s_ += cfg_.scrub_interval_s;
+    }
+  }
+  now_s_ = target;
+}
+
+void MlcChip::run_scrub_pass() {
+  ++stats_.scrub_passes;
+  const drift::MetricConfig& cfg = cfg_.scrub_with_m ? m_cfg_ : r_cfg_;
+  for (LineSlot& slot : lines_) {
+    if (!slot.written) continue;
+    BitVec image = sense(slot, cfg);
+    BitVec cw(bch_.codeword_bits());
+    for (std::size_t i = 0; i < cw.size(); ++i) cw.set(i, image.get(i));
+    const ecc::BchDecodeResult dec = bch_.decode(cw);
+    if (!dec.corrected) {
+      // More errors than the code can fix even on the scrub metric.
+      ++stats_.uncorrectable;
+      continue;
+    }
+    const bool rewrite =
+        cfg_.scrub_w == 0 || dec.num_corrected >= cfg_.scrub_w;
+    if (rewrite) {
+      ++stats_.scrub_rewrites;
+      BitVec padded(slot.cells.num_bits());
+      for (std::size_t i = 0; i < cw.size(); ++i) padded.set(i, cw.get(i));
+      program(slot, padded);
+      --stats_.writes;  // scrub rewrites are accounted separately
+    }
+  }
+}
+
+}  // namespace rd::pcm

@@ -1,0 +1,86 @@
+#include "pcm/line.h"
+
+#include "common/check.h"
+
+namespace rd::pcm {
+
+std::size_t data_to_level(std::uint8_t two_bits) {
+  for (std::size_t level = 0; level < drift::kNumStates; ++level) {
+    if (drift::kLevelData[level] == (two_bits & 0b11)) return level;
+  }
+  RD_CHECK_MSG(false, "unreachable: all 2-bit values are mapped");
+  return 0;
+}
+
+MlcLine::MlcLine(std::size_t nbits) : programmed_(nbits) {
+  RD_CHECK_MSG(nbits % 2 == 0, "MLC line needs an even bit count");
+  cells_.resize(nbits / 2);
+}
+
+Cell& MlcLine::cell_at(std::size_t i) {
+  RD_CHECK(i < cells_.size());
+  return cells_[i];
+}
+
+std::size_t MlcLine::target_level(const BitVec& bits, std::size_t cell) const {
+  const std::uint8_t hi = bits.get(2 * cell) ? 1 : 0;
+  const std::uint8_t lo = bits.get(2 * cell + 1) ? 1 : 0;
+  return data_to_level(static_cast<std::uint8_t>((hi << 1) | lo));
+}
+
+void MlcLine::write_full(const BitVec& bits, double t_seconds, Rng& rng,
+                         const drift::MetricConfig& cfg) {
+  RD_CHECK(bits.size() == num_bits());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    cells_[c].program(target_level(bits, c), t_seconds, rng, cfg);
+  }
+  programmed_ = bits;
+}
+
+std::size_t MlcLine::write_differential(const BitVec& bits, double t_seconds,
+                                        Rng& rng,
+                                        const drift::MetricConfig& cfg) {
+  RD_CHECK(bits.size() == num_bits());
+  std::size_t written = 0;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const std::size_t want = target_level(bits, c);
+    if (cells_[c].programmed_level() != want) {
+      cells_[c].program(want, t_seconds, rng, cfg);
+      ++written;
+    }
+  }
+  programmed_ = bits;
+  return written;
+}
+
+std::size_t MlcLine::refresh_drifted(double t_seconds, Rng& rng,
+                                     const drift::MetricConfig& cfg) {
+  std::size_t refreshed = 0;
+  for (Cell& c : cells_) {
+    if (c.drift_error(t_seconds, cfg)) {
+      c.program(c.programmed_level(), t_seconds, rng, cfg);
+      ++refreshed;
+    }
+  }
+  return refreshed;
+}
+
+BitVec MlcLine::read(double t_seconds, const drift::MetricConfig& cfg) const {
+  BitVec out(num_bits());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const std::size_t level = cells_[c].read_level(t_seconds, cfg);
+    const std::uint8_t data = drift::kLevelData[level];
+    out.set(2 * c, (data >> 1) & 1);
+    out.set(2 * c + 1, data & 1);
+  }
+  return out;
+}
+
+std::size_t MlcLine::count_drift_errors(
+    double t_seconds, const drift::MetricConfig& cfg) const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) n += c.drift_error(t_seconds, cfg) ? 1 : 0;
+  return n;
+}
+
+}  // namespace rd::pcm

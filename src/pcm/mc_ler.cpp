@@ -1,0 +1,36 @@
+#include "pcm/mc_ler.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+
+namespace rd::pcm {
+
+double McLerResult::stderr_() const {
+  if (lines == 0) return 0.0;
+  const double p = ler();
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(lines));
+}
+
+McLerResult mc_ler(const drift::MetricConfig& config,
+                   const drift::LineGeometry& geometry,
+                   unsigned e, double t_seconds, std::uint64_t lines,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  McLerResult result;
+  result.lines = lines;
+  const unsigned cells = geometry.total_cells();
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    unsigned errors = 0;
+    for (unsigned c = 0; c < cells && errors <= e; ++c) {
+      Cell cell;
+      cell.program(rng.uniform_below(drift::kNumStates), 0.0, rng, config);
+      errors += cell.drift_error(t_seconds, config) ? 1 : 0;
+    }
+    if (errors > e) ++result.failures;
+  }
+  return result;
+}
+
+}  // namespace rd::pcm

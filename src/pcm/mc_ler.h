@@ -1,0 +1,40 @@
+// Empirical (Monte-Carlo) line-error-rate estimation.
+//
+// The analytic LerCalculator reaches probabilities (1e-12 and below) no
+// simulation can sample; this harness validates it in the measurable
+// regime: simulate whole populations of 296-cell lines through the device
+// model and count how many exceed E errors at age S. Used by tests to
+// cross-check Tables III/IV at relaxed (E, S) points, and available to
+// users who extend the drift model and want to re-validate.
+#pragma once
+
+#include <cstdint>
+
+#include "drift/error_model.h"
+#include "pcm/cell.h"
+
+namespace rd::pcm {
+
+/// Result of an empirical LER measurement.
+struct McLerResult {
+  std::uint64_t lines = 0;
+  std::uint64_t failures = 0;  ///< lines with more than E errors
+
+  double ler() const {
+    return lines ? static_cast<double>(failures) /
+                       static_cast<double>(lines)
+                 : 0.0;
+  }
+  /// One-sigma sampling error of ler().
+  double stderr_() const;
+};
+
+/// Simulate `lines` fresh lines of `geometry` cells under `config`,
+/// age them to t_seconds, and count lines with more than `e` drift
+/// errors. Deterministic in `seed`.
+McLerResult mc_ler(const drift::MetricConfig& config,
+                   const drift::LineGeometry& geometry,
+                   unsigned e, double t_seconds, std::uint64_t lines,
+                   std::uint64_t seed);
+
+}  // namespace rd::pcm

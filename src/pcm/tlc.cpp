@@ -1,0 +1,39 @@
+#include "pcm/tlc.h"
+
+namespace rd::pcm {
+
+TlcLine::TlcLine(std::size_t nbits) : nbits_(nbits) {
+  const std::size_t groups = (nbits + 2) / 3;
+  digits_.assign(groups * 2, 0);
+}
+
+void TlcLine::write(const BitVec& bits) {
+  RD_CHECK(bits.size() == nbits_);
+  const std::size_t groups = digits_.size() / 2;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::uint8_t v = 0;
+    for (std::size_t b = 0; b < 3; ++b) {
+      const std::size_t i = g * 3 + b;
+      if (i < nbits_ && bits.get(i)) v |= static_cast<std::uint8_t>(1u << b);
+    }
+    const TlcPair p = tlc_encode(v);
+    digits_[2 * g] = p.hi;
+    digits_[2 * g + 1] = p.lo;
+  }
+}
+
+BitVec TlcLine::read() const {
+  BitVec out(nbits_);
+  const std::size_t groups = digits_.size() / 2;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::uint8_t v =
+        tlc_decode(TlcPair{digits_[2 * g], digits_[2 * g + 1]});
+    for (std::size_t b = 0; b < 3; ++b) {
+      const std::size_t i = g * 3 + b;
+      if (i < nbits_) out.set(i, (v >> b) & 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace rd::pcm

@@ -1,0 +1,69 @@
+// Tri-Level-Cell (TLC) baseline [26].
+//
+// TLC removes the most drift-prone middle state of the 4-level MLC,
+// keeping full-SET, one intermediate, and full-RESET. Three levels per
+// cell encode 3 bits in 2 cells (9 >= 8 combinations); with a (72,64)
+// SECDED per 64-bit word, a 64 B line costs 576 bits -> 384 cells.
+// The surviving intermediate state has a full decade of drift margin, so
+// TLC reads never see drift errors at DRAM-comparable rates — the paper
+// treats TLC as drift-free but paying a storage-density penalty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/check.h"
+
+namespace rd::pcm {
+
+/// Density constants of the TLC baseline for a 64 B line.
+struct TlcGeometry {
+  unsigned data_bits = 512;
+  unsigned secded_words = 8;      ///< (72,64) per 64-bit word
+  unsigned coded_bits() const { return data_bits + 8 * secded_words; }
+  /// Two tri-level cells hold 3 bits.
+  unsigned cells_per_line() const { return (coded_bits() + 2) / 3 * 2; }
+};
+
+/// Pack 3 bits into a pair of tri-level digits (and back). Pure encoding
+/// helpers for the TLC line model.
+struct TlcPair {
+  std::uint8_t hi;  ///< tri-level digit in [0, 3)
+  std::uint8_t lo;
+};
+
+/// Encode a 3-bit value v (0..7) into two tri-level digits.
+inline TlcPair tlc_encode(std::uint8_t v) {
+  RD_CHECK(v < 8);
+  return TlcPair{static_cast<std::uint8_t>(v / 3),
+                 static_cast<std::uint8_t>(v % 3)};
+}
+
+/// Decode two tri-level digits back into the 3-bit value. The unused 9th
+/// combination (2,2) decodes to 7 by saturation.
+inline std::uint8_t tlc_decode(TlcPair p) {
+  RD_CHECK(p.hi < 3 && p.lo < 3);
+  const unsigned v = p.hi * 3u + p.lo;
+  return static_cast<std::uint8_t>(v > 7 ? 7 : v);
+}
+
+/// A TLC-coded line: stores bits as tri-level digit pairs. Drift-free by
+/// construction (see header comment); exists so the examples and density
+/// math exercise a real codec rather than a constant.
+class TlcLine {
+ public:
+  explicit TlcLine(std::size_t nbits);
+
+  std::size_t num_bits() const { return nbits_; }
+  std::size_t num_cells() const { return digits_.size(); }
+
+  void write(const BitVec& bits);
+  BitVec read() const;
+
+ private:
+  std::size_t nbits_;
+  std::vector<std::uint8_t> digits_;
+};
+
+}  // namespace rd::pcm

@@ -1,0 +1,35 @@
+#include "pcm/wear_level.h"
+
+namespace rd::pcm {
+
+StartGap::StartGap(std::uint64_t lines, std::uint64_t gap_write_interval)
+    : lines_(lines), interval_(gap_write_interval), gap_(lines) {
+  RD_CHECK(lines >= 1);
+  RD_CHECK(gap_write_interval >= 1);
+}
+
+std::uint64_t StartGap::to_physical(std::uint64_t logical) const {
+  RD_CHECK(logical < lines_);
+  // Rotate by the start offset over the logical space, then skip the gap
+  // slot: slots at or after the gap shift up by one. The result lands in
+  // [0, lines] and never on the gap — a bijection into the spare-backed
+  // physical region.
+  const std::uint64_t rotated = (logical + start_) % lines_;
+  return rotated >= gap_ ? rotated + 1 : rotated;
+}
+
+bool StartGap::on_write() {
+  if (++writes_since_move_ < interval_) return false;
+  writes_since_move_ = 0;
+  // Move the gap down one slot (the hardware copies the displaced line
+  // into the old gap). After a full sweep the mapping start advances.
+  if (gap_ == 0) {
+    gap_ = lines_;  // wrap: gap returns to the top...
+    ++start_;       // ...and every logical line has shifted by one.
+  } else {
+    --gap_;
+  }
+  return true;
+}
+
+}  // namespace rd::pcm

@@ -1,0 +1,54 @@
+// Start-Gap wear leveling [Qureshi et al., MICRO'09] — the address
+// remapping substrate the paper's related work assumes under every PCM
+// main memory (Section VI). Algebraic, table-free: one spare line (the
+// gap) rotates through the region every `gap_write_interval` writes,
+// shifting the logical-to-physical mapping by one line per full rotation.
+//
+// ReadDuo's endurance results (Figure 15) report relative cell-write
+// counts; Start-Gap is what turns those into uniform wear across lines —
+// bench_wear shows hot-line write concentration flattening.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace rd::pcm {
+
+/// Start-Gap remapper over a region of `lines` logical lines backed by
+/// `lines + 1` physical lines.
+class StartGap {
+ public:
+  /// @param lines               logical lines in the region
+  /// @param gap_write_interval  writes between gap movements (the paper's
+  ///                            psi; 100 gives ~1% write overhead)
+  StartGap(std::uint64_t lines, std::uint64_t gap_write_interval = 100);
+
+  std::uint64_t lines() const { return lines_; }
+  /// Physical lines backing the region (logical lines + 1 spare).
+  std::uint64_t physical_lines() const { return lines_ + 1; }
+
+  /// Translate a logical line to its current physical line.
+  std::uint64_t to_physical(std::uint64_t logical) const;
+
+  /// Record a write to the region. Every `gap_write_interval` writes the
+  /// gap moves one slot (one line is copied in hardware); returns true
+  /// when this write triggered a gap movement, so callers can charge the
+  /// extra line write.
+  bool on_write();
+
+  /// Diagnostics: current gap slot and completed full rotations.
+  std::uint64_t gap_position() const { return gap_; }
+  std::uint64_t rotations() const { return start_; }
+
+ private:
+  std::uint64_t lines_;
+  std::uint64_t interval_;
+  std::uint64_t writes_since_move_ = 0;
+  /// Gap slot in [0, lines]; slot `gap_` holds no logical line.
+  std::uint64_t gap_;
+  /// Number of completed gap rotations == current start offset.
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace rd::pcm

@@ -1,0 +1,46 @@
+#include "readduo/conversion.h"
+
+#include <algorithm>
+
+namespace rd::readduo {
+
+ConversionController::ConversionController(Config cfg)
+    : cfg_(cfg), t_(cfg.enabled ? cfg.initial_t : 0) {}
+
+void ConversionController::record_read(bool untracked, bool hit_converted) {
+  if (!cfg_.enabled) return;
+  ++epoch_total_;
+  if (untracked) ++epoch_untracked_;
+  if (hit_converted) ++epoch_benefit_;
+  if (epoch_total_ < cfg_.epoch_reads) return;
+
+  const double p = static_cast<double>(epoch_untracked_) /
+                   static_cast<double>(epoch_total_);
+  const unsigned floor = std::min(cfg_.floor_t, 100u);
+  if (p > cfg_.high_watermark) {
+    // Converted data is not becoming tracked-and-read: back off.
+    t_ = t_ >= floor + 10 ? t_ - 10 : floor;
+  } else if (epoch_conversions_ > 0) {
+    const double benefit = static_cast<double>(epoch_benefit_) /
+                           static_cast<double>(epoch_conversions_);
+    if (benefit >= cfg_.benefit_high) {
+      t_ = std::min(t_ + 10, 100u);
+    } else if (benefit < cfg_.benefit_low) {
+      t_ = t_ >= floor + 10 ? t_ - 10 : floor;
+    }
+  }
+  epoch_total_ = 0;
+  epoch_untracked_ = 0;
+  epoch_benefit_ = 0;
+  epoch_conversions_ = 0;
+}
+
+bool ConversionController::should_convert() {
+  if (!cfg_.enabled || t_ == 0) return false;
+  // Rotating decile counter: of every 10 candidates, the first T/10
+  // convert. Deterministic and exact at the step-10 granularity.
+  const std::uint64_t slot = convert_counter_++ % 10;
+  return slot < t_ / 10;
+}
+
+}  // namespace rd::readduo

@@ -1,0 +1,138 @@
+#include "readduo/scheme_base.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rd::readduo {
+
+SchemeBase::SchemeBase(std::string name, SchemeEnv env)
+    : name_(std::move(name)), env_(env), rng_(env.seed) {}
+
+const drift::ErrorModel& SchemeBase::r_model() {
+  static const drift::ErrorModel model(drift::r_metric());
+  return model;
+}
+
+const drift::ErrorModel& SchemeBase::m_model() {
+  static const drift::ErrorModel model(drift::m_metric());
+  return model;
+}
+
+const drift::CellErrorTable& SchemeBase::r_table() {
+  static const drift::CellErrorTable table(r_model());
+  return table;
+}
+
+const drift::CellErrorTable& SchemeBase::m_table() {
+  static const drift::CellErrorTable table(m_model());
+  return table;
+}
+
+double SchemeBase::sample_workload_age(std::uint64_t line, bool archive,
+                                       FirstTouch touch, Rng& rng) const {
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  if (archive) {
+    return std::min(-env_.archive_age_scale_s * std::log(u), env_.max_age_s);
+  }
+
+  if (touch == FirstTouch::kWrite) {
+    // Write instants sample lines by write renewal: log-uniform ages over
+    // many decades (streaming writes, cold allocations, periodic sweeps).
+    const double lo = std::log(env_.write_age_min_s);
+    const double hi = std::log(env_.write_age_max_s);
+    return std::exp(lo + rng.uniform() * (hi - lo));
+  }
+
+  double mean = env_.mean_working_age_s;
+  if (env_.footprint_lines > 0 && env_.per_core_write_rate > 0.0) {
+    // Read instants are biased toward currently-active data: exponential
+    // age with the per-line write rate from the line's Zipf popularity
+    // rank (continuous approximation; requires zipf_s < 1).
+    const double f = static_cast<double>(env_.footprint_lines);
+    const std::uint64_t slice = env_.footprint_lines + env_.archive_lines;
+    const double rank = static_cast<double>(line % slice) + 1.0;
+    const double s = env_.zipf_s;
+    const double weight =
+        s > 0.0 ? (1.0 - s) * std::pow(rank, -s) / std::pow(f, 1.0 - s)
+                : 1.0 / f;
+    const double rate = env_.per_core_write_rate * weight;
+    mean = rate > 0.0 ? 1.0 / rate : env_.max_age_s;
+  }
+  return std::min(-mean * std::log(u), env_.max_age_s);
+}
+
+void SchemeBase::init_line(LineState&, std::uint64_t, Ns, bool) {}
+
+LineState& SchemeBase::state_of(std::uint64_t line, Ns now, bool archive,
+                                FirstTouch touch) {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) {
+    LineState st;
+    const double age = sample_initial_age(line, archive, touch, rng_);
+    st.last_write_s = now.seconds() - age;
+    st.last_full_write_s = st.last_write_s;
+    it = lines_.emplace(line, st).first;
+    init_line(it->second, line, now, archive);
+  }
+  return it->second;
+}
+
+unsigned SchemeBase::sample_r_errors(const LineState& st, Ns now) {
+  const double age = now.seconds() - st.last_full_write_s;
+  const double p = r_table().prob(age);
+  return rng_.binomial(env_.geometry.total_cells(), p);
+}
+
+unsigned SchemeBase::sample_m_errors(const LineState& st, Ns now) {
+  const double age = now.seconds() - st.last_full_write_s;
+  const double p = m_table().prob(age);
+  return rng_.binomial(env_.geometry.total_cells(), p);
+}
+
+WriteOutcome SchemeBase::full_write(LineState& st, Ns now) {
+  st.last_write_s = now.seconds();
+  st.last_full_write_s = now.seconds();
+  WriteOutcome w;
+  w.latency = env_.timing.write;
+  w.cells_written = env_.geometry.total_cells();
+  w.full_line = true;
+  counters_.cell_writes += w.cells_written;
+  return w;
+}
+
+WriteOutcome SchemeBase::on_write(std::uint64_t line, Ns now) {
+  LineState& st = state_of(line, now, /*archive=*/false, FirstTouch::kWrite);
+  WriteOutcome w = full_write(st, now);
+  ++counters_.demand_full_writes;
+  counters_.write_energy_pj +=
+      env_.energy.cell_write.v * static_cast<double>(w.cells_written);
+  return w;
+}
+
+WriteOutcome SchemeBase::on_converted_write(std::uint64_t line, Ns now) {
+  LineState& st = state_of(line, now, /*archive=*/false);
+  WriteOutcome w = full_write(st, now);
+  ++counters_.conversion_writes;
+  counters_.write_energy_pj +=
+      env_.energy.cell_write.v * static_cast<double>(w.cells_written);
+  return w;
+}
+
+void SchemeBase::add_read_energy(ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kRRead:
+      counters_.read_energy_pj += env_.energy.r_read.v;
+      break;
+    case ReadMode::kMRead:
+      counters_.read_energy_pj += env_.energy.m_read.v;
+      break;
+    case ReadMode::kRMRead:
+      counters_.read_energy_pj +=
+          env_.energy.r_read.v + env_.energy.m_read.v;
+      break;
+  }
+}
+
+}  // namespace rd::readduo

@@ -1,0 +1,83 @@
+#include "readduo/steady_state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace rd::readduo {
+
+ScrubAgeSampler::ScrubAgeSampler(const drift::ErrorModel& model,
+                                 unsigned cells, double interval, unsigned nu,
+                                 double max_age)
+    : interval_(interval) {
+  RD_CHECK(interval > 0.0);
+  RD_CHECK(cells > 0);
+
+  // q[j] = P(rewrite at the j-th scrub | survived so far), j = 1, 2, ...
+  // With W = 0 (nu == 0) the first scrub always rewrites.
+  const std::size_t max_j = std::max<std::size_t>(
+      1, static_cast<std::size_t>(max_age / interval));
+  std::vector<double> survival;  // survival[j] = P(not rewritten by scrub j)
+  survival.push_back(1.0);
+  double renewal_mass = 0.0;   // sum over j of P(interval = j*S)
+  double mean = 0.0;
+  double prev_p = 0.0;  // per-cell error probability at the previous scrub
+  for (std::size_t j = 1; j <= max_j; ++j) {
+    double q;
+    if (nu == 0) {
+      q = 1.0;
+    } else {
+      // Conditional hazard: surviving scrub j-1 certifies the line clean
+      // at age (j-1)*S, so only errors accumulating in ((j-1)S, jS]
+      // count. Cell drift is monotone: that increment has probability
+      // p(jS) - p((j-1)S) per cell (rescaled by the clean condition).
+      const double age = static_cast<double>(j) * interval;
+      const double p_now = std::exp(
+          std::min(model.log_avg_cell_error_prob(age), 0.0));
+      const double dp =
+          std::max(0.0, (p_now - prev_p) / std::max(1.0 - prev_p, 1e-12));
+      prev_p = p_now;
+      const double log_tail =
+          dp > 0.0 ? log_binomial_tail_gt(cells, nu - 1, std::log(dp))
+                   : rd::kNegInf;
+      q = log_tail <= rd::kNegInf ? 0.0 : std::exp(log_tail);
+    }
+    const double p_interval = survival.back() * q;
+    renewal_mass += p_interval;
+    mean += p_interval * static_cast<double>(j) * interval;
+    survival.push_back(survival.back() * (1.0 - q));
+    if (survival.back() < 1e-9) break;
+  }
+  // Truncate the tail: any residual survival renews at the cap.
+  const double residual = survival.back();
+  renewal_mass += residual;
+  mean += residual * static_cast<double>(survival.size()) * interval;
+  mean_interval_ = mean / renewal_mass;
+
+  // Steady-state age: P(age in [j*S, (j+1)*S)) is proportional to
+  // survival[j] (renewal-theoretic age distribution, discretized).
+  double total = 0.0;
+  for (double s : survival) total += s;
+  cdf_.resize(survival.size());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < survival.size(); ++j) {
+    acc += survival[j] / total;
+    cdf_[j] = acc;
+  }
+  cdf_.back() = 1.0;
+
+  // Rewrite probability at an arbitrary scrub: one rewrite per renewal
+  // interval, one scrub per S.
+  rewrite_prob_ = std::min(1.0, interval / mean_interval_);
+}
+
+double ScrubAgeSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t j = static_cast<std::size_t>(it - cdf_.begin());
+  return (static_cast<double>(j) + rng.uniform()) * interval_;
+}
+
+}  // namespace rd::readduo

@@ -1,0 +1,54 @@
+// Minimal fixed-width table printer used by the bench harnesses to emit
+// paper-style rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rd::stats {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        std::fprintf(out, "%-*s  ", static_cast<int>(width[i]),
+                     cell.c_str());
+      }
+      std::fprintf(out, "\n");
+    };
+    print_row(header_);
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting into std::string.
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace rd::stats

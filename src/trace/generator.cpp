@@ -1,0 +1,45 @@
+#include "trace/generator.h"
+
+#include "common/check.h"
+
+namespace rd::trace {
+
+TraceGen::TraceGen(const Workload& w, unsigned core, std::uint64_t seed)
+    : workload_(w), rng_(seed * 0x9e3779b97f4a7c15ull + core + 1) {
+  RD_CHECK(w.rpki > 0.0);
+  RD_CHECK(w.wpki >= 0.0);
+  RD_CHECK(w.footprint_lines > 0);
+  RD_CHECK(w.archive_lines > 0);
+  // Each core owns a disjoint slice of the address space: its writable
+  // working set followed by its archive region.
+  const std::uint64_t slice = w.footprint_lines + w.archive_lines;
+  working_base_ = static_cast<std::uint64_t>(core) * slice;
+  archive_base_ = working_base_ + w.footprint_lines;
+  ops_per_instruction_ = (w.rpki + w.wpki) / 1000.0;
+  write_fraction_ = w.wpki / (w.rpki + w.wpki);
+}
+
+MemOp TraceGen::next() {
+  MemOp op;
+  // Geometric gap with mean 1/ops_per_instruction.
+  op.gap_instructions = rng_.geometric(ops_per_instruction_);
+  op.is_write = rng_.bernoulli(write_fraction_);
+  if (!op.is_write && rng_.bernoulli(workload_.archive_read_fraction)) {
+    // Archive reads have the workload's own locality (a hot query set
+    // over old data); the archive is never written.
+    op.archive = true;
+    if (workload_.archive_scan) {
+      op.line = archive_base_ + scan_cursor_;
+      scan_cursor_ = (scan_cursor_ + 1) % workload_.archive_lines;
+    } else {
+      op.line = archive_base_ +
+                rng_.zipf(workload_.archive_lines, workload_.zipf_s);
+    }
+  } else {
+    op.line = working_base_ +
+              rng_.zipf(workload_.footprint_lines, workload_.zipf_s);
+  }
+  return op;
+}
+
+}  // namespace rd::trace

@@ -1,0 +1,55 @@
+// Synthetic memory-access trace generator.
+//
+// Produces a deterministic per-core stream of post-LLC memory operations
+// from a Workload: geometric instruction gaps matching RPKI + WPKI, Zipf
+// line popularity over the working set, and a separate archive region for
+// reads of long-idle data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "trace/workload.h"
+
+namespace rd::trace {
+
+/// One post-LLC memory operation.
+struct MemOp {
+  /// Instructions executed by the core since the previous operation.
+  std::uint64_t gap_instructions = 0;
+  bool is_write = false;
+  /// 64 B line id within the workload's address space.
+  std::uint64_t line = 0;
+  /// True when the line belongs to the archive region (written long
+  /// before the simulated window and never written during it).
+  bool archive = false;
+};
+
+/// Deterministic trace stream for one core.
+class TraceGen {
+ public:
+  /// `core` perturbs the seed and offsets the address space so the four
+  /// cores do not collide on the same lines.
+  TraceGen(const Workload& w, unsigned core, std::uint64_t seed);
+
+  /// Next operation in the stream (infinite stream).
+  MemOp next();
+
+  const Workload& workload() const { return workload_; }
+
+  /// Base line id of this core's archive region (disjoint from the
+  /// writable working set).
+  std::uint64_t archive_base() const { return archive_base_; }
+
+ private:
+  Workload workload_;
+  std::uint64_t working_base_;
+  std::uint64_t archive_base_;
+  double ops_per_instruction_;
+  double write_fraction_;
+  std::uint64_t scan_cursor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace rd::trace

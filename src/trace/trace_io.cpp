@@ -1,0 +1,92 @@
+#include "trace/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace rd::trace {
+
+std::size_t record_trace(TraceGen& gen, std::size_t n, std::ostream& out) {
+  out << "# readduo trace v1: <gap_instructions> R|W <line> [A]\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const MemOp op = gen.next();
+    out << op.gap_instructions << ' ' << (op.is_write ? 'W' : 'R') << ' '
+        << op.line;
+    if (op.archive) out << " A";
+    out << '\n';
+  }
+  return n;
+}
+
+std::vector<MemOp> load_trace(std::istream& in) {
+  std::vector<MemOp> ops;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and blank lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t gap = 0;
+    if (!(ls >> gap)) continue;  // blank after comment strip
+    char kind = 0;
+    std::uint64_t addr = 0;
+    RD_CHECK_MSG(static_cast<bool>(ls >> kind >> addr),
+                 "malformed trace line " << lineno << ": '" << line << "'");
+    RD_CHECK_MSG(kind == 'R' || kind == 'W',
+                 "trace line " << lineno << ": op must be R or W");
+    MemOp op;
+    op.gap_instructions = gap;
+    op.is_write = kind == 'W';
+    op.line = addr;
+    std::string flag;
+    if (ls >> flag) {
+      RD_CHECK_MSG(flag == "A",
+                   "trace line " << lineno << ": unknown flag '" << flag
+                                 << "'");
+      RD_CHECK_MSG(!op.is_write,
+                   "trace line " << lineno << ": archive lines are never "
+                                              "written");
+      op.archive = true;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TraceReplayer::TraceReplayer(std::vector<MemOp> ops) : ops_(std::move(ops)) {
+  RD_CHECK_MSG(!ops_.empty(), "cannot replay an empty trace");
+}
+
+MemOp TraceReplayer::next() {
+  const MemOp op = ops_[pos_];
+  if (++pos_ == ops_.size()) {
+    pos_ = 0;
+    wrapped_ = true;
+  }
+  return op;
+}
+
+TraceStats characterize(const std::vector<MemOp>& ops) {
+  TraceStats st;
+  std::unordered_set<std::uint64_t> lines;
+  for (const MemOp& op : ops) {
+    ++st.ops;
+    st.instructions += op.gap_instructions + 1;
+    if (op.is_write) {
+      ++st.writes;
+    } else {
+      ++st.reads;
+      if (op.archive) ++st.archive_reads;
+    }
+    lines.insert(op.line);
+  }
+  st.distinct_lines = lines.size();
+  return st;
+}
+
+}  // namespace rd::trace

@@ -1,0 +1,73 @@
+// Trace recording, replay, and characterization.
+//
+// The paper drives its simulator from Pin-recorded traces; this module
+// gives the library the same workflow: record any TraceGen stream (or an
+// external tool's output) to a file, replay it through the simulator, and
+// characterize it (the RPKI/WPKI/footprint numbers of Table X).
+//
+// Format: line-oriented text, one op per line —
+//     <gap_instructions> R|W <line> [A]
+// with '#' comments. Trailing 'A' marks archive (old-data) accesses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+
+namespace rd::trace {
+
+/// Write `n` operations of `gen` to a stream. Returns ops written.
+std::size_t record_trace(TraceGen& gen, std::size_t n, std::ostream& out);
+
+/// Parse a trace stream. Throws CheckFailure on malformed input (with
+/// the offending line number).
+std::vector<MemOp> load_trace(std::istream& in);
+
+/// A TraceGen-compatible replayer over a recorded op vector; wraps around
+/// at the end (the simulator needs an infinite stream).
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(std::vector<MemOp> ops);
+
+  MemOp next();
+  std::size_t size() const { return ops_.size(); }
+  /// True once the stream has wrapped at least once.
+  bool wrapped() const { return wrapped_; }
+
+ private:
+  std::vector<MemOp> ops_;
+  std::size_t pos_ = 0;
+  bool wrapped_ = false;
+};
+
+/// Aggregate characterization of a trace (Table X's columns).
+struct TraceStats {
+  std::size_t ops = 0;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t archive_reads = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t distinct_lines = 0;
+
+  double rpki() const {
+    return instructions ? 1000.0 * static_cast<double>(reads) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+  double wpki() const {
+    return instructions ? 1000.0 * static_cast<double>(writes) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+  double footprint_mb() const {
+    return static_cast<double>(distinct_lines) * 64.0 / 1048576.0;
+  }
+};
+
+/// Characterize a recorded trace.
+TraceStats characterize(const std::vector<MemOp>& ops);
+
+}  // namespace rd::trace

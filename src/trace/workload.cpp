@@ -1,0 +1,41 @@
+#include "trace/workload.h"
+
+#include "common/check.h"
+
+namespace rd::trace {
+
+const std::vector<Workload>& spec2006_workloads() {
+  // RPKI/WPKI approximate post-LLC (memory-traffic) rates reported for
+  // SPEC CPU2006 behind a multi-MB last-level cache. archive_read_fraction is high for benchmarks that stream reads
+  // over data produced long before (sphinx3, mcf pointer chasing over a
+  // pre-built graph), near zero for write-heavy kernels (lbm, bzip2).
+  static const std::vector<Workload> kWorkloads = {
+      //        name        rpki   wpki  footprint  zipf  arch%   age(s)  archlines
+      Workload{"astar",      0.50, 0.21,  1u << 20, 0.60, 0.03, 20000.0, 1u << 17},
+      Workload{"bwaves",     1.90, 0.28,  1u << 21, 0.20, 0.03, 20000.0, 1u << 18},
+      Workload{"bzip2",      0.60, 0.35,  1u << 20, 0.80, 0.02, 20000.0, 1u << 17},
+      Workload{"gcc",        0.80, 0.56,  1u << 20, 0.90, 0.03, 20000.0, 1u << 17},
+      Workload{"GemsFDTD",   2.60, 0.63,  1u << 21, 0.15, 0.04, 20000.0, 1u << 18},
+      Workload{"lbm",        3.20, 2.10,  1u << 21, 0.10, 0.01, 20000.0, 1u << 18},
+      Workload{"leslie3d",   2.30, 0.63,  1u << 21, 0.20, 0.03, 20000.0, 1u << 18},
+      Workload{"libquantum", 4.50, 0.98,  1u << 20, 0.05, 0.02, 20000.0, 1u << 17},
+      Workload{"mcf",        9.50, 2.50,  1u << 22, 0.40, 0.06, 50000.0, 1u << 18},
+      Workload{"milc",       2.70, 1.12,  1u << 21, 0.25, 0.03, 20000.0, 1u << 18},
+      Workload{"omnetpp",    1.80, 1.12,  1u << 20, 0.70, 0.04, 20000.0, 1u << 16},
+      Workload{"soplex",     3.70, 1.19,  1u << 21, 0.45, 0.05, 30000.0, 1u << 18},
+      Workload{"sphinx3",    2.00, 0.14,  1u << 20, 0.50, 0.60, 80000.0, 1u << 9, true},
+      Workload{"xalancbmk",  1.40, 0.49,  1u << 20, 0.65, 0.04, 20000.0, 1u << 16},
+  };
+  return kWorkloads;
+}
+
+const Workload& workload_by_name(const std::string& name) {
+  for (const Workload& w : spec2006_workloads()) {
+    if (w.name == name) return w;
+  }
+  RD_CHECK_MSG(false, "unknown workload: " << name);
+  // Unreachable; RD_CHECK_MSG throws.
+  return spec2006_workloads().front();
+}
+
+}  // namespace rd::trace

@@ -1,0 +1,208 @@
+// Unit tests for GF(2^m) arithmetic and polynomials — the BCH substrate.
+#include "gf/gf2m.h"
+#include "gf/poly.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rd::gf {
+namespace {
+
+class FieldM : public ::testing::TestWithParam<unsigned> {
+ protected:
+  Field f{GetParam()};
+};
+
+TEST_P(FieldM, ExpLogRoundTrip) {
+  for (Elem a = 1; a < f.size(); ++a) {
+    EXPECT_EQ(f.alpha_pow(f.log(a)), a);
+  }
+}
+
+TEST_P(FieldM, MultiplicativeInverse) {
+  for (Elem a = 1; a < f.size(); ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << "a=" << a;
+  }
+}
+
+TEST_P(FieldM, AlphaIsPrimitive) {
+  // alpha^k hits every nonzero element exactly once over a full period.
+  std::set<Elem> seen;
+  for (std::uint32_t k = 0; k < f.order(); ++k) {
+    seen.insert(f.alpha_pow(k));
+  }
+  EXPECT_EQ(seen.size(), f.order());
+  EXPECT_EQ(f.alpha_pow(f.order()), 1u);
+}
+
+TEST_P(FieldM, MulCommutativeAssociativeSampled) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Elem a = static_cast<Elem>(rng.uniform_below(f.size()));
+    const Elem b = static_cast<Elem>(rng.uniform_below(f.size()));
+    const Elem c = static_cast<Elem>(rng.uniform_below(f.size()));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    // Distributivity over XOR addition.
+    EXPECT_EQ(f.mul(a, Field::add(b, c)),
+              Field::add(f.mul(a, b), f.mul(a, c)));
+  }
+}
+
+TEST_P(FieldM, DivisionInvertsMultiplication) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 200; ++i) {
+    const Elem a = static_cast<Elem>(rng.uniform_below(f.size()));
+    const Elem b = 1 + static_cast<Elem>(rng.uniform_below(f.order()));
+    EXPECT_EQ(f.div(f.mul(a, b), b), a);
+  }
+}
+
+TEST_P(FieldM, PowMatchesRepeatedMul) {
+  const Elem a = f.alpha_pow(3);
+  Elem acc = 1;
+  for (int k = 0; k <= 20; ++k) {
+    EXPECT_EQ(f.pow(a, k), acc) << k;
+    acc = f.mul(acc, a);
+  }
+  // Negative exponent = inverse power.
+  EXPECT_EQ(f.pow(a, -1), f.inv(a));
+  EXPECT_EQ(f.mul(f.pow(a, -5), f.pow(a, 5)), 1u);
+}
+
+TEST_P(FieldM, FermatLittleTheorem) {
+  Rng rng(GetParam() + 200);
+  for (int i = 0; i < 50; ++i) {
+    const Elem a = 1 + static_cast<Elem>(rng.uniform_below(f.order()));
+    EXPECT_EQ(f.pow(a, f.order()), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, FieldM,
+                         ::testing::Values(3u, 4u, 5u, 6u, 8u, 10u, 12u));
+
+TEST(Field, RejectsBadM) {
+  EXPECT_THROW(Field(2), CheckFailure);
+  EXPECT_THROW(Field(15), CheckFailure);
+}
+
+TEST(Field, ZeroHandling) {
+  Field f(10);
+  EXPECT_EQ(f.mul(0, 123), 0u);
+  EXPECT_EQ(f.mul(123, 0), 0u);
+  EXPECT_EQ(f.div(0, 5), 0u);
+  EXPECT_THROW(f.div(5, 0), CheckFailure);
+  EXPECT_THROW(f.inv(0), CheckFailure);
+  EXPECT_THROW(f.log(0), CheckFailure);
+}
+
+// ------------------------------------------------------------- Poly ------
+
+TEST(Poly, DegreeAndZero) {
+  EXPECT_EQ(Poly().degree(), -1);
+  EXPECT_TRUE(Poly().is_zero());
+  EXPECT_EQ(Poly::constant(0).degree(), -1);
+  EXPECT_EQ(Poly::constant(5).degree(), 0);
+  EXPECT_EQ(Poly::monomial(1, 7).degree(), 7);
+  // Trailing zeros are trimmed.
+  EXPECT_EQ(Poly(std::vector<Elem>{1, 2, 0, 0}).degree(), 1);
+}
+
+TEST(Poly, AddIsXorAndSelfInverse) {
+  Poly a(std::vector<Elem>{1, 2, 3});
+  Poly b(std::vector<Elem>{0, 2, 3, 4});
+  Poly sum = Poly::add(a, b);
+  EXPECT_EQ(sum.coeff(0), 1u);
+  EXPECT_EQ(sum.coeff(1), 0u);
+  EXPECT_EQ(sum.coeff(2), 0u);
+  EXPECT_EQ(sum.coeff(3), 4u);
+  EXPECT_TRUE(Poly::add(a, a).is_zero());
+}
+
+TEST(Poly, MulDegreesAdd) {
+  Field f(10);
+  Poly a = Poly::monomial(3, 4);
+  Poly b = Poly::monomial(7, 5);
+  Poly p = Poly::mul(f, a, b);
+  EXPECT_EQ(p.degree(), 9);
+  EXPECT_EQ(p.coeff(9), f.mul(3, 7));
+}
+
+TEST(Poly, EvalHorner) {
+  Field f(10);
+  // p(x) = x^2 + x + 1 over GF(2^10); p(alpha) via direct arithmetic.
+  Poly p(std::vector<Elem>{1, 1, 1});
+  const Elem a = f.alpha();
+  const Elem direct = Field::add(Field::add(f.mul(a, a), a), 1);
+  EXPECT_EQ(p.eval(f, a), direct);
+  EXPECT_EQ(p.eval(f, 0), 1u);
+}
+
+TEST(Poly, ModRemainderDegreeAndIdentity) {
+  Field f(10);
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Elem> ac(12), bc(5);
+    for (auto& c : ac) c = static_cast<Elem>(rng.uniform_below(f.size()));
+    for (auto& c : bc) c = static_cast<Elem>(rng.uniform_below(f.size()));
+    bc.back() = 1 + static_cast<Elem>(rng.uniform_below(f.order()));
+    Poly a(ac), b(bc);
+    Poly r = Poly::mod(f, a, b);
+    EXPECT_LT(r.degree(), b.degree());
+    // (a - r) must be divisible by b: mod again gives zero.
+    EXPECT_TRUE(Poly::mod(f, Poly::add(a, r), b).is_zero());
+  }
+}
+
+TEST(Poly, DerivativeChar2) {
+  // d/dx (x^3 + x^2 + x + 1) = 3x^2 + 2x + 1 = x^2 + 1 in char 2.
+  Poly p(std::vector<Elem>{1, 1, 1, 1});
+  Poly d = p.derivative();
+  EXPECT_EQ(d.degree(), 2);
+  EXPECT_EQ(d.coeff(0), 1u);
+  EXPECT_EQ(d.coeff(1), 0u);
+  EXPECT_EQ(d.coeff(2), 1u);
+}
+
+TEST(CyclotomicCoset, ClosedUnderDoubling) {
+  Field f(10);
+  for (std::uint32_t s : {1u, 3u, 5u, 9u, 100u}) {
+    auto coset = cyclotomic_coset(f, s);
+    std::set<std::uint32_t> set(coset.begin(), coset.end());
+    EXPECT_EQ(set.size(), coset.size());  // no duplicates
+    for (std::uint32_t x : coset) {
+      EXPECT_TRUE(set.count((2u * x) % f.order())) << "x=" << x;
+    }
+  }
+}
+
+TEST(MinimalPolynomial, HasAlphaSAsRootAndBinaryCoeffs) {
+  Field f(10);
+  for (std::uint32_t s : {1u, 2u, 3u, 5u, 7u, 11u}) {
+    Poly m = minimal_polynomial(f, s);
+    EXPECT_EQ(m.eval(f, f.alpha_pow(s)), 0u) << "s=" << s;
+    for (Elem c : m.coeffs()) EXPECT_TRUE(c == 0 || c == 1);
+    // Degree equals the coset size.
+    EXPECT_EQ(static_cast<std::size_t>(m.degree()),
+              cyclotomic_coset(f, s).size());
+  }
+}
+
+TEST(MinimalPolynomial, ConjugatesShareMinimalPolynomial) {
+  Field f(8);
+  // alpha^3 and alpha^6 are conjugates (same coset).
+  EXPECT_TRUE(minimal_polynomial(f, 3) == minimal_polynomial(f, 6));
+}
+
+TEST(MinimalPolynomial, DegreeOneForM3Coset) {
+  // In GF(2^3), the coset of 1 is {1, 2, 4}: degree 3; x (s=0) -> {0}.
+  Field f(3);
+  EXPECT_EQ(minimal_polynomial(f, 1).degree(), 3);
+}
+
+}  // namespace
+}  // namespace rd::gf

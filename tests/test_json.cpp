@@ -1,0 +1,50 @@
+// Tests for the JSON stats writer.
+#include "stats/json.h"
+
+#include <gtest/gtest.h>
+
+namespace rd::stats {
+namespace {
+
+TEST(Json, EmptyObject) {
+  JsonWriter jw;
+  EXPECT_EQ(jw.str(), "{\n}\n");
+}
+
+TEST(Json, TypesAndOrder) {
+  JsonWriter jw;
+  jw.add("name", std::string("mcf"))
+      .add("count", std::uint64_t{42})
+      .add("ratio", 1.5);
+  const std::string s = jw.str();
+  EXPECT_NE(s.find("\"name\": \"mcf\","), std::string::npos);
+  EXPECT_NE(s.find("\"count\": 42,"), std::string::npos);
+  EXPECT_NE(s.find("\"ratio\": 1.5\n"), std::string::npos);
+  // name comes before count comes before ratio
+  EXPECT_LT(s.find("name"), s.find("count"));
+  EXPECT_LT(s.find("count"), s.find("ratio"));
+}
+
+TEST(Json, NoTrailingCommaOnLast) {
+  JsonWriter jw;
+  jw.add("a", std::uint64_t{1}).add("b", std::uint64_t{2});
+  const std::string s = jw.str();
+  EXPECT_NE(s.find("\"a\": 1,\n"), std::string::npos);
+  EXPECT_NE(s.find("\"b\": 2\n"), std::string::npos);
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  JsonWriter jw;
+  jw.add("path", std::string("a\"b\\c\nd\te"));
+  const std::string s = jw.str();
+  EXPECT_NE(s.find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
+}
+
+TEST(Json, ControlCharactersEscapedAsUnicode) {
+  JsonWriter jw;
+  jw.add("ctrl", std::string("x\x01y"));
+  EXPECT_NE(jw.str().find("\\u0001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rd::stats

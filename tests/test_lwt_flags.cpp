@@ -1,0 +1,204 @@
+// Tests for the LWT flag protocol (Figure 5) — the hardware bits that let
+// ReadDuo-LWT decide between R-sensing and M-sensing.
+#include "readduo/lwt_flags.h"
+
+#include <gtest/gtest.h>
+
+namespace rd::readduo {
+namespace {
+
+TEST(LwtFlags, Construction) {
+  for (unsigned k : {2u, 4u, 8u, 16u, 32u}) {
+    LwtFlags f(k);
+    EXPECT_EQ(f.k(), k);
+    EXPECT_EQ(f.vector_flag(), 0u);
+    EXPECT_EQ(f.index_flag(), 0u);
+  }
+  EXPECT_THROW(LwtFlags(3), CheckFailure);
+  EXPECT_THROW(LwtFlags(0), CheckFailure);
+  EXPECT_THROW(LwtFlags(64), CheckFailure);
+}
+
+TEST(LwtFlags, FlagBitCost) {
+  EXPECT_EQ(LwtFlags(2).flag_bits(), 3u);   // 2 + 1
+  EXPECT_EQ(LwtFlags(4).flag_bits(), 6u);   // 4 + 2
+  EXPECT_EQ(LwtFlags(8).flag_bits(), 11u);  // 8 + 3
+}
+
+TEST(LwtFlags, WriteSetsBitAndIndex) {
+  LwtFlags f(4);
+  f.on_write(2);
+  EXPECT_EQ(f.vector_flag(), 0b0100u);
+  EXPECT_EQ(f.index_flag(), 2u);
+}
+
+TEST(LwtFlags, Figure5Walkthrough) {
+  // The exact scenario of Figure 5: W1 in sub-interval #2, then three
+  // scrubs none of which rewrites, with read R1 in sub-interval 2.
+  LwtFlags f(4);
+  f.on_write(2);
+  EXPECT_EQ(f.vector_flag(), 0b0100u);
+  EXPECT_EQ(f.index_flag(), 2u);
+
+  // scrub1: clears bits [0, ind-1] = bits 0 and 1; ind := 0.
+  f.on_scrub(false);
+  EXPECT_EQ(f.vector_flag(), 0b0100u);  // W1's bit survives
+  EXPECT_EQ(f.index_flag(), 0u);
+
+  // Read R1 in sub-interval 2: case (iii) — discard [1, 2], vector
+  // becomes zero, switch to M-sensing (paper's example).
+  EXPECT_FALSE(f.tracked_for_read(2));
+  // A read in sub-interval 0 still sees the bit (within 640 s).
+  EXPECT_TRUE(f.tracked_for_read(0));
+  EXPECT_TRUE(f.tracked_for_read(1));
+
+  // scrub2 (ind == 0): clears everything.
+  f.on_scrub(false);
+  EXPECT_EQ(f.vector_flag(), 0u);
+  // scrub3: still nothing.
+  f.on_scrub(false);
+  EXPECT_EQ(f.vector_flag(), 0u);
+  EXPECT_FALSE(f.tracked_for_read(0));
+}
+
+TEST(LwtFlags, CaseI_WriteThisCycleAllowsRSensing) {
+  LwtFlags f(4);
+  f.on_scrub(false);
+  f.on_write(1);
+  for (unsigned s = 1; s < 4; ++s) {
+    EXPECT_TRUE(f.tracked_for_read(s)) << s;
+  }
+}
+
+TEST(LwtFlags, CaseII_EmptyVectorForcesMSensing) {
+  LwtFlags f(4);
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_FALSE(f.tracked_for_read(s)) << s;
+  }
+}
+
+TEST(LwtFlags, CaseIII_StaleBitsDiscardedByLabel) {
+  // Write at label 3, then scrub: the bit survives but reads later in the
+  // new cycle must treat labels [1, s] as stale.
+  LwtFlags f(4);
+  f.on_write(3);
+  f.on_scrub(false);
+  EXPECT_EQ(f.vector_flag(), 0b1000u);
+  EXPECT_EQ(f.index_flag(), 0u);
+  // Bit 3 is in (s, k-1] for reads at s < 3: previous-cycle write still
+  // within 640 s.
+  EXPECT_TRUE(f.tracked_for_read(0));
+  EXPECT_TRUE(f.tracked_for_read(1));
+  EXPECT_TRUE(f.tracked_for_read(2));
+  // At s = 3 the bit falls inside [1, 3]: it is now ~640 s old — stale.
+  EXPECT_FALSE(f.tracked_for_read(3));
+}
+
+TEST(LwtFlags, ScrubRewriteTracksAsBitZero) {
+  LwtFlags f(4);
+  f.on_scrub(true);
+  EXPECT_EQ(f.vector_flag(), 0b0001u);
+  EXPECT_EQ(f.index_flag(), 0u);
+  // Bit 0 is never discarded by case (iii) ([1, s] excludes 0).
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_TRUE(f.tracked_for_read(s)) << s;
+  }
+  // The next scrub without rewrite retires it.
+  f.on_scrub(false);
+  EXPECT_EQ(f.vector_flag(), 0u);
+}
+
+TEST(LwtFlags, WriteAtLabelZeroTracked) {
+  LwtFlags f(4);
+  f.on_scrub(false);
+  f.on_write(0);
+  EXPECT_EQ(f.index_flag(), 0u);
+  EXPECT_EQ(f.vector_flag(), 0b0001u);
+  EXPECT_TRUE(f.tracked_for_read(2));  // bit 0 survives [1, s] discard
+}
+
+TEST(LwtFlags, LaterWriteRetiresGapBits) {
+  // Writes at labels 1 then 3: the (1, 3) gap label 2, if set from an
+  // older cycle, must be cleared.
+  LwtFlags f(4);
+  f.on_write(1);
+  f.on_write(2);
+  f.on_write(3);
+  EXPECT_EQ(f.vector_flag(), 0b1110u);
+  f.on_scrub(false);  // clears [0, 2]
+  EXPECT_EQ(f.vector_flag(), 0b1000u);
+  f.on_write(1);
+  // (ind=0 after scrub... write at 1 sets bit 1, clears nothing in (0,1))
+  EXPECT_EQ(f.vector_flag(), 0b1010u);
+  EXPECT_EQ(f.index_flag(), 1u);
+  f.on_write(3);
+  // clears (1, 3) = bit 2 (unset anyway), sets bit 3 (already set).
+  EXPECT_EQ(f.vector_flag(), 0b1010u);
+  EXPECT_EQ(f.index_flag(), 3u);
+}
+
+TEST(LwtFlags, MultipleWritesSameSubInterval) {
+  LwtFlags f(4);
+  f.on_write(2);
+  f.on_write(2);
+  EXPECT_EQ(f.vector_flag(), 0b0100u);
+  EXPECT_EQ(f.index_flag(), 2u);
+}
+
+TEST(LwtFlags, TwoScrubsWithoutWritesAlwaysUntrack) {
+  // Property: whatever the starting state, two consecutive scrubs with no
+  // rewrite and no intervening write force M-sensing.
+  for (unsigned w1 = 0; w1 < 4; ++w1) {
+    for (unsigned w2 = 0; w2 < 4; ++w2) {
+      LwtFlags f(4);
+      f.on_write(w1);
+      f.on_write(w2 >= w1 ? w2 : w1);  // writes move forward in a cycle
+      f.on_scrub(false);
+      f.on_scrub(false);
+      for (unsigned s = 0; s < 4; ++s) {
+        EXPECT_FALSE(f.tracked_for_read(s))
+            << "w1=" << w1 << " w2=" << w2 << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(LwtFlags, RejectsOutOfRangeLabels) {
+  LwtFlags f(4);
+  EXPECT_THROW(f.on_write(4), CheckFailure);
+  EXPECT_THROW((void)f.tracked_for_read(4), CheckFailure);
+}
+
+class LwtFlagsK : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LwtFlagsK, FreshWriteAlwaysTracked) {
+  const unsigned k = GetParam();
+  for (unsigned w = 0; w < k; ++w) {
+    for (unsigned s = w; s < k; ++s) {
+      LwtFlags f(k);
+      f.on_scrub(false);
+      f.on_write(w);
+      EXPECT_TRUE(f.tracked_for_read(s)) << "k=" << k << " w=" << w;
+    }
+  }
+}
+
+TEST_P(LwtFlagsK, ConservativeNeverTracksBeyondTwoCycles) {
+  // Safety property: a line with one write, after >= 2 full scrub cycles,
+  // is never reported trackable (R-sensing would be unreliable).
+  const unsigned k = GetParam();
+  for (unsigned w = 0; w < k; ++w) {
+    LwtFlags f(k);
+    f.on_write(w);
+    f.on_scrub(false);
+    f.on_scrub(false);
+    for (unsigned s = 0; s < k; ++s) {
+      EXPECT_FALSE(f.tracked_for_read(s)) << "k=" << k << " w=" << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, LwtFlagsK, ::testing::Values(2u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace rd::readduo

@@ -1,0 +1,206 @@
+// Unit tests for the deterministic RNG and its distributions.
+#include "common/rng.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace rd {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng r(4);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_NEAR(sq / n - 0.25, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformBelowBounds) {
+  Rng r(5);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(r.uniform_below(n), n);
+  }
+  EXPECT_THROW(r.uniform_below(0), CheckFailure);
+}
+
+TEST(Rng, UniformBelowUnbiased) {
+  Rng r(6);
+  std::vector<int> counts(7, 0);
+  const int n = 140000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_below(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7.0, 5.0 * std::sqrt(n / 7.0));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(8);
+  double sum = 0.0, sq = 0.0, cube = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = r.normal();
+    sum += z;
+    sq += z * z;
+    cube += z * z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+  EXPECT_NEAR(cube / n, 0.0, 0.05);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng r(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 0.25);
+    sum += x;
+    sq += (x - 5.0) * (x - 5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sq / n), 0.25, 0.01);
+  EXPECT_THROW(r.normal(0.0, -1.0), CheckFailure);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng r(10);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = r.truncated_normal(2.0, 0.5, 2.746);
+    ASSERT_GE(x, 2.0 - 2.746 * 0.5);
+    ASSERT_LE(x, 2.0 + 2.746 * 0.5);
+  }
+}
+
+TEST(Rng, TruncatedNormalZeroSigma) {
+  Rng r(11);
+  EXPECT_DOUBLE_EQ(r.truncated_normal(3.0, 0.0, 2.0), 3.0);
+}
+
+class BinomialParams
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, double>> {};
+
+TEST_P(BinomialParams, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng r(12);
+  const int trials = 40000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double x = r.binomial(n, p);
+    ASSERT_LE(x, static_cast<double>(n));
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / trials;
+  const double var = sq / trials - mean * mean;
+  const double want_mean = n * p;
+  const double want_var = n * p * (1.0 - p);
+  const double tol = 6.0 * std::sqrt(want_var / trials + 1e-12) + 1e-3;
+  EXPECT_NEAR(mean, want_mean, std::max(tol, 0.02 * want_mean + 1e-3));
+  if (want_var > 0.01) {
+    EXPECT_NEAR(var, want_var, 0.1 * want_var + 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialParams,
+    ::testing::Values(std::pair<std::uint32_t, double>{296, 1e-4},
+                      std::pair<std::uint32_t, double>{296, 5e-3},
+                      std::pair<std::uint32_t, double>{296, 0.25},
+                      std::pair<std::uint32_t, double>{296, 0.9},
+                      std::pair<std::uint32_t, double>{16, 0.5},
+                      std::pair<std::uint32_t, double>{1000, 0.2},
+                      std::pair<std::uint32_t, double>{4, 0.01}));
+
+TEST(Rng, BinomialEdges) {
+  Rng r(13);
+  EXPECT_EQ(r.binomial(0, 0.5), 0u);
+  EXPECT_EQ(r.binomial(100, 0.0), 0u);
+  EXPECT_EQ(r.binomial(100, 1.0), 100u);
+  EXPECT_THROW(r.binomial(10, 1.5), CheckFailure);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng r(14);
+  const double p = 0.2;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(p));
+  // Mean of failures-before-success = (1-p)/p = 4.
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.1);
+  EXPECT_EQ(r.geometric(1.0), 0u);
+  EXPECT_THROW(r.geometric(0.0), CheckFailure);
+}
+
+TEST(Rng, ZipfUniformWhenSZero) {
+  Rng r(15);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.zipf(10, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10.0, 6.0 * std::sqrt(n / 10.0));
+}
+
+class ZipfExponent : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponent, FrequenciesFollowPowerLaw) {
+  const double s = GetParam();
+  Rng r(16);
+  const std::uint64_t universe = 10000;
+  std::map<std::uint64_t, int> counts;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[r.zipf(universe, s)];
+  // Rank-1 over rank-10 frequency ratio should be ~10^s.
+  const double c1 = counts[0];
+  const double c10 = std::max(counts[9], 1);
+  const double expected = std::pow(10.0, s);
+  EXPECT_NEAR(c1 / c10, expected, 0.5 * expected + 1.5) << "s=" << s;
+  // All draws inside the universe.
+  EXPECT_LT(counts.rbegin()->first, universe);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZipfExponent,
+                         ::testing::Values(0.3, 0.5, 0.8, 1.0, 1.3));
+
+TEST(Rng, ZipfSingleton) {
+  Rng r(17);
+  EXPECT_EQ(r.zipf(1, 0.9), 0u);
+}
+
+}  // namespace
+}  // namespace rd

@@ -1,0 +1,109 @@
+// Tests for trace recording / replay / characterization.
+#include "trace/trace_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "trace/workload.h"
+
+namespace rd::trace {
+namespace {
+
+TEST(TraceIo, RecordLoadRoundTrip) {
+  TraceGen gen(workload_by_name("mcf"), 0, 11);
+  std::ostringstream out;
+  record_trace(gen, 500, out);
+
+  std::istringstream in(out.str());
+  const std::vector<MemOp> ops = load_trace(in);
+  ASSERT_EQ(ops.size(), 500u);
+
+  // Replay the generator with the same seed and compare op by op.
+  TraceGen gen2(workload_by_name("mcf"), 0, 11);
+  for (const MemOp& op : ops) {
+    const MemOp want = gen2.next();
+    EXPECT_EQ(op.gap_instructions, want.gap_instructions);
+    EXPECT_EQ(op.is_write, want.is_write);
+    EXPECT_EQ(op.line, want.line);
+    EXPECT_EQ(op.archive, want.archive);
+  }
+}
+
+TEST(TraceIo, LoadsHandWrittenTrace) {
+  std::istringstream in(
+      "# a comment\n"
+      "10 R 42\n"
+      "\n"
+      "0 W 7\n"
+      "3 R 100 A   # archive read\n");
+  const auto ops = load_trace(in);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].gap_instructions, 10u);
+  EXPECT_FALSE(ops[0].is_write);
+  EXPECT_EQ(ops[0].line, 42u);
+  EXPECT_TRUE(ops[1].is_write);
+  EXPECT_TRUE(ops[2].archive);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("5 X 3\n");
+    EXPECT_THROW(load_trace(in), CheckFailure);
+  }
+  {
+    std::istringstream in("5 R\n");
+    EXPECT_THROW(load_trace(in), CheckFailure);
+  }
+  {
+    std::istringstream in("5 W 3 A\n");  // archive lines are never written
+    EXPECT_THROW(load_trace(in), CheckFailure);
+  }
+  {
+    std::istringstream in("5 R 3 Z\n");
+    EXPECT_THROW(load_trace(in), CheckFailure);
+  }
+}
+
+TEST(TraceReplayer, WrapsAround) {
+  std::vector<MemOp> ops(3);
+  ops[0].line = 10;
+  ops[1].line = 11;
+  ops[2].line = 12;
+  TraceReplayer r(ops);
+  EXPECT_FALSE(r.wrapped());
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(r.next().line, 10u + static_cast<std::uint64_t>(i % 3));
+  }
+  EXPECT_TRUE(r.wrapped());
+}
+
+TEST(TraceReplayer, RejectsEmpty) {
+  EXPECT_THROW(TraceReplayer({}), CheckFailure);
+}
+
+TEST(Characterize, MatchesWorkloadParameters) {
+  const Workload& w = workload_by_name("lbm");
+  TraceGen gen(w, 0, 3);
+  std::ostringstream out;
+  record_trace(gen, 50000, out);
+  std::istringstream in(out.str());
+  const TraceStats st = characterize(load_trace(in));
+
+  EXPECT_EQ(st.ops, 50000u);
+  EXPECT_EQ(st.reads + st.writes, st.ops);
+  EXPECT_NEAR(st.rpki(), w.rpki, 0.15 * w.rpki);
+  EXPECT_NEAR(st.wpki(), w.wpki, 0.15 * w.wpki);
+  EXPECT_GT(st.distinct_lines, 1000u);
+}
+
+TEST(Characterize, EmptyTrace) {
+  const TraceStats st = characterize({});
+  EXPECT_EQ(st.ops, 0u);
+  EXPECT_EQ(st.rpki(), 0.0);
+  EXPECT_EQ(st.footprint_mb(), 0.0);
+}
+
+}  // namespace
+}  // namespace rd::trace

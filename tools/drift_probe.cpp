@@ -1,0 +1,41 @@
+// Scratch probe: per-cell drift error probabilities vs the Table III/IV
+// anchors, used to calibrate the model interpretation.
+#include <cmath>
+#include <cstdio>
+
+#include "drift/error_model.h"
+
+int main() {
+  using namespace rd::drift;
+  ErrorModel r(r_metric());
+  ErrorModel m(m_metric());
+  LerCalculator lr(r);
+  LerCalculator lm(m);
+
+  // Back-solved per-cell targets from Table III column E=0:
+  // p = -ln(1 - LER(E=0)) / 296
+  const double times[] = {4, 8, 16, 32, 64, 128, 256, 512, 640, 1024};
+  const double table3_e0[] = {1.23e-2, 7.09e-2, 1.63e-1, 2.81e-1, 4.20e-1,
+                              5.65e-1, 7.02e-1, 8.18e-1, 8.50e-1, 9.03e-1};
+  std::printf("%8s %12s %12s %12s %12s\n", "t(s)", "p_model", "p_paper",
+              "LER(E=0)", "LER(E=8)");
+  for (int i = 0; i < 10; ++i) {
+    const double t = times[i];
+    const double p_model = r.avg_cell_error_prob(t);
+    const double p_paper = -std::log(1.0 - table3_e0[i]) / 296.0;
+    std::printf("%8.0f %12.3e %12.3e %12.3e %12.3e\n", t, p_model, p_paper,
+                lr.ler(0, t), lr.ler(8, t));
+  }
+  std::printf("\nM-metric:\n");
+  for (double t : {512.0, 640.0, 1024.0, 2048.0, 16384.0}) {
+    std::printf("%8.0f p=%12.3e LER(E=0)=%12.3e LER(E=1)=%12.3e\n", t,
+                m.avg_cell_error_prob(t), lm.ler(0, t), lm.ler(1, t));
+  }
+  // Per-state breakdown at 8s and 640s.
+  std::printf("\nR per-state p at t=8: ");
+  for (int s = 0; s < 4; ++s) std::printf("%.3e ", r.cell_error_prob(s, 8));
+  std::printf("\nM per-state p at t=640: ");
+  for (int s = 0; s < 4; ++s) std::printf("%.3e ", m.cell_error_prob(s, 640));
+  std::printf("\n");
+  return 0;
+}

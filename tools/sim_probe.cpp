@@ -1,0 +1,65 @@
+// Scratch probe: run a few workloads under all schemes, print normalized
+// execution time / dynamic energy / lifetime to calibrate against the
+// paper's Figures 9, 10 and 15.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "memsim/env.h"
+#include "memsim/simulator.h"
+#include "readduo/schemes.h"
+#include "trace/workload.h"
+
+using namespace rd;
+
+int main(int argc, char** argv) {
+  const std::uint64_t budget =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
+
+  const std::vector<readduo::SchemeKind> kinds = {
+      readduo::SchemeKind::kIdeal,     readduo::SchemeKind::kScrubbing,
+      readduo::SchemeKind::kMMetric,   readduo::SchemeKind::kHybrid,
+      readduo::SchemeKind::kLwt,       readduo::SchemeKind::kSelect,
+  };
+
+  for (const char* wname : {"bzip2", "mcf", "sphinx3", "lbm"}) {
+    const trace::Workload& w = trace::workload_by_name(wname);
+    std::printf("== %s (rpki=%.1f wpki=%.1f arch=%.2f)\n", wname, w.rpki,
+                w.wpki, w.archive_read_fraction);
+    double ideal_time = 0.0, ideal_energy = 0.0, ideal_cells = 0.0;
+    for (auto kind : kinds) {
+      memsim::SimConfig pre;  // for cpu params
+      readduo::SchemeEnv env = memsim::make_scheme_env(w, pre.cpu, 7);
+      readduo::ReadDuoOptions opts;
+      auto scheme = readduo::make_scheme(kind, env, opts);
+      memsim::SimConfig cfg = pre;
+      cfg.instructions_per_core = budget;
+      cfg.seed = 13;
+      memsim::Simulator sim(cfg, *scheme, w);
+      const memsim::SimResult r = sim.run();
+      const auto& c = scheme->counters();
+      const double energy = c.dynamic_energy_pj();
+      const double cells = static_cast<double>(c.cell_writes);
+      if (kind == readduo::SchemeKind::kIdeal) {
+        ideal_time = static_cast<double>(r.exec_time.v);
+        ideal_energy = energy;
+        ideal_cells = cells;
+      }
+      std::printf(
+          "%-10s T=%6.3f E=%6.3f W=%6.3f | lat=%6.0fns R/M/RM=%lu/%lu/%lu "
+          "untrk=%lu conv=%lu scrubs=%lu rw=%lu cancel=%lu backlog=%lu "
+          "util=%.2f sil=%lu\n",
+          scheme->name().c_str(),
+          static_cast<double>(r.exec_time.v) / ideal_time,
+          energy / ideal_energy, cells / ideal_cells,
+          r.avg_read_latency_ns(), c.r_reads, c.m_reads, c.rm_reads,
+          c.untracked_reads, c.converted_reads, c.scrub_senses,
+          c.scrub_rewrites, r.write_cancellations, r.scrub_backlog_end,
+          static_cast<double>(r.bank_busy_ns) /
+              (static_cast<double>(r.exec_time.v) * 8.0),
+          c.silent_corruptions);
+    }
+  }
+  return 0;
+}
