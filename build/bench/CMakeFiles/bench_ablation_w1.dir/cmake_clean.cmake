@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_w1.dir/bench_ablation_w1.cpp.o"
+  "CMakeFiles/bench_ablation_w1.dir/bench_ablation_w1.cpp.o.d"
+  "bench_ablation_w1"
+  "bench_ablation_w1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_w1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

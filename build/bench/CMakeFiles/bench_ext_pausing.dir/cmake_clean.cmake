@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pausing.dir/bench_ext_pausing.cpp.o"
+  "CMakeFiles/bench_ext_pausing.dir/bench_ext_pausing.cpp.o.d"
+  "bench_ext_pausing"
+  "bench_ext_pausing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pausing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

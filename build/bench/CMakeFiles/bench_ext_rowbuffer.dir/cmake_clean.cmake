@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rowbuffer.dir/bench_ext_rowbuffer.cpp.o"
+  "CMakeFiles/bench_ext_rowbuffer.dir/bench_ext_rowbuffer.cpp.o.d"
+  "bench_ext_rowbuffer"
+  "bench_ext_rowbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rowbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_temperature.dir/bench_ext_temperature.cpp.o"
+  "CMakeFiles/bench_ext_temperature.dir/bench_ext_temperature.cpp.o.d"
+  "bench_ext_temperature"
+  "bench_ext_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

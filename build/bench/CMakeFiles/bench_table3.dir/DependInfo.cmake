@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3.cpp" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rd_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/rd_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/readduo/CMakeFiles/rd_readduo.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/rd_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/rd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/rd_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/drift/CMakeFiles/rd_drift.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/rd_bench_harness.dir/harness.cpp.o.d"
+  "librd_bench_harness.a"
+  "librd_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

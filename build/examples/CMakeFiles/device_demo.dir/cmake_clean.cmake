@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_demo.dir/device_demo.cpp.o"
+  "CMakeFiles/device_demo.dir/device_demo.cpp.o.d"
+  "device_demo"
+  "device_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

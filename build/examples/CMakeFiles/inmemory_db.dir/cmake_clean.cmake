@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inmemory_db.dir/inmemory_db.cpp.o"
+  "CMakeFiles/inmemory_db.dir/inmemory_db.cpp.o.d"
+  "inmemory_db"
+  "inmemory_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inmemory_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

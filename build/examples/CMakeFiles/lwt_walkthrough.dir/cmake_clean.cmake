@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_walkthrough.dir/lwt_walkthrough.cpp.o"
+  "CMakeFiles/lwt_walkthrough.dir/lwt_walkthrough.cpp.o.d"
+  "lwt_walkthrough"
+  "lwt_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

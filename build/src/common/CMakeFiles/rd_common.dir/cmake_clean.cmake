@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_common.dir/config.cpp.o"
+  "CMakeFiles/rd_common.dir/config.cpp.o.d"
+  "CMakeFiles/rd_common.dir/math.cpp.o"
+  "CMakeFiles/rd_common.dir/math.cpp.o.d"
+  "CMakeFiles/rd_common.dir/rng.cpp.o"
+  "CMakeFiles/rd_common.dir/rng.cpp.o.d"
+  "librd_common.a"
+  "librd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librd_common.a"
+)

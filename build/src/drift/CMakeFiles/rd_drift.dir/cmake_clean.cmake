@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_drift.dir/error_model.cpp.o"
+  "CMakeFiles/rd_drift.dir/error_model.cpp.o.d"
+  "CMakeFiles/rd_drift.dir/metric.cpp.o"
+  "CMakeFiles/rd_drift.dir/metric.cpp.o.d"
+  "librd_drift.a"
+  "librd_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

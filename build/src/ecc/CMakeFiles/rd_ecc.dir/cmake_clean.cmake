@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_ecc.dir/bch.cpp.o"
+  "CMakeFiles/rd_ecc.dir/bch.cpp.o.d"
+  "CMakeFiles/rd_ecc.dir/secded.cpp.o"
+  "CMakeFiles/rd_ecc.dir/secded.cpp.o.d"
+  "librd_ecc.a"
+  "librd_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_gf.dir/gf2m.cpp.o"
+  "CMakeFiles/rd_gf.dir/gf2m.cpp.o.d"
+  "CMakeFiles/rd_gf.dir/poly.cpp.o"
+  "CMakeFiles/rd_gf.dir/poly.cpp.o.d"
+  "librd_gf.a"
+  "librd_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

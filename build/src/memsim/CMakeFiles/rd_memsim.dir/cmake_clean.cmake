@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_memsim.dir/simulator.cpp.o"
+  "CMakeFiles/rd_memsim.dir/simulator.cpp.o.d"
+  "librd_memsim.a"
+  "librd_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

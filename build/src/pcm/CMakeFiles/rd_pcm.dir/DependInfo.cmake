@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcm/area.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/area.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/area.cpp.o.d"
+  "/root/repo/src/pcm/cell.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/cell.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/cell.cpp.o.d"
+  "/root/repo/src/pcm/chip.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/chip.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/chip.cpp.o.d"
+  "/root/repo/src/pcm/ecp.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/ecp.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/ecp.cpp.o.d"
+  "/root/repo/src/pcm/line.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/line.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/line.cpp.o.d"
+  "/root/repo/src/pcm/mc_ler.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/mc_ler.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/mc_ler.cpp.o.d"
+  "/root/repo/src/pcm/tlc.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/tlc.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/tlc.cpp.o.d"
+  "/root/repo/src/pcm/wear_level.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/wear_level.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/wear_level.cpp.o.d"
+  "/root/repo/src/pcm/write.cpp" "src/pcm/CMakeFiles/rd_pcm.dir/write.cpp.o" "gcc" "src/pcm/CMakeFiles/rd_pcm.dir/write.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drift/CMakeFiles/rd_drift.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/rd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/rd_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

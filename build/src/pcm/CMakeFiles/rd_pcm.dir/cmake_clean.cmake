@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_pcm.dir/area.cpp.o"
+  "CMakeFiles/rd_pcm.dir/area.cpp.o.d"
+  "CMakeFiles/rd_pcm.dir/cell.cpp.o"
+  "CMakeFiles/rd_pcm.dir/cell.cpp.o.d"
+  "CMakeFiles/rd_pcm.dir/chip.cpp.o"
+  "CMakeFiles/rd_pcm.dir/chip.cpp.o.d"
+  "CMakeFiles/rd_pcm.dir/ecp.cpp.o"
+  "CMakeFiles/rd_pcm.dir/ecp.cpp.o.d"
+  "CMakeFiles/rd_pcm.dir/line.cpp.o"
+  "CMakeFiles/rd_pcm.dir/line.cpp.o.d"
+  "CMakeFiles/rd_pcm.dir/mc_ler.cpp.o"
+  "CMakeFiles/rd_pcm.dir/mc_ler.cpp.o.d"
+  "CMakeFiles/rd_pcm.dir/tlc.cpp.o"
+  "CMakeFiles/rd_pcm.dir/tlc.cpp.o.d"
+  "CMakeFiles/rd_pcm.dir/wear_level.cpp.o"
+  "CMakeFiles/rd_pcm.dir/wear_level.cpp.o.d"
+  "CMakeFiles/rd_pcm.dir/write.cpp.o"
+  "CMakeFiles/rd_pcm.dir/write.cpp.o.d"
+  "librd_pcm.a"
+  "librd_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

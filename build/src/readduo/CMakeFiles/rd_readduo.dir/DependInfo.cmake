@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/readduo/conversion.cpp" "src/readduo/CMakeFiles/rd_readduo.dir/conversion.cpp.o" "gcc" "src/readduo/CMakeFiles/rd_readduo.dir/conversion.cpp.o.d"
+  "/root/repo/src/readduo/lwt_flags.cpp" "src/readduo/CMakeFiles/rd_readduo.dir/lwt_flags.cpp.o" "gcc" "src/readduo/CMakeFiles/rd_readduo.dir/lwt_flags.cpp.o.d"
+  "/root/repo/src/readduo/scheme_base.cpp" "src/readduo/CMakeFiles/rd_readduo.dir/scheme_base.cpp.o" "gcc" "src/readduo/CMakeFiles/rd_readduo.dir/scheme_base.cpp.o.d"
+  "/root/repo/src/readduo/schemes.cpp" "src/readduo/CMakeFiles/rd_readduo.dir/schemes.cpp.o" "gcc" "src/readduo/CMakeFiles/rd_readduo.dir/schemes.cpp.o.d"
+  "/root/repo/src/readduo/steady_state.cpp" "src/readduo/CMakeFiles/rd_readduo.dir/steady_state.cpp.o" "gcc" "src/readduo/CMakeFiles/rd_readduo.dir/steady_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drift/CMakeFiles/rd_drift.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/rd_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/rd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/rd_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_readduo.dir/conversion.cpp.o"
+  "CMakeFiles/rd_readduo.dir/conversion.cpp.o.d"
+  "CMakeFiles/rd_readduo.dir/lwt_flags.cpp.o"
+  "CMakeFiles/rd_readduo.dir/lwt_flags.cpp.o.d"
+  "CMakeFiles/rd_readduo.dir/scheme_base.cpp.o"
+  "CMakeFiles/rd_readduo.dir/scheme_base.cpp.o.d"
+  "CMakeFiles/rd_readduo.dir/schemes.cpp.o"
+  "CMakeFiles/rd_readduo.dir/schemes.cpp.o.d"
+  "CMakeFiles/rd_readduo.dir/steady_state.cpp.o"
+  "CMakeFiles/rd_readduo.dir/steady_state.cpp.o.d"
+  "librd_readduo.a"
+  "librd_readduo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_readduo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

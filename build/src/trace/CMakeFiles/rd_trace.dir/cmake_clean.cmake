@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_trace.dir/generator.cpp.o"
+  "CMakeFiles/rd_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/rd_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/rd_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/rd_trace.dir/workload.cpp.o"
+  "CMakeFiles/rd_trace.dir/workload.cpp.o.d"
+  "librd_trace.a"
+  "librd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

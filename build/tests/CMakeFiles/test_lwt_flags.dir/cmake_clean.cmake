@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lwt_flags.dir/test_lwt_flags.cpp.o"
+  "CMakeFiles/test_lwt_flags.dir/test_lwt_flags.cpp.o.d"
+  "test_lwt_flags"
+  "test_lwt_flags.pdb"
+  "test_lwt_flags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lwt_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

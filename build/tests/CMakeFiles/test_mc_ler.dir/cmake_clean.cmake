@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_ler.dir/test_mc_ler.cpp.o"
+  "CMakeFiles/test_mc_ler.dir/test_mc_ler.cpp.o.d"
+  "test_mc_ler"
+  "test_mc_ler.pdb"
+  "test_mc_ler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_ler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

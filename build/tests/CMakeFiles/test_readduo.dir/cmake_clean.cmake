@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readduo.dir/test_readduo.cpp.o"
+  "CMakeFiles/test_readduo.dir/test_readduo.cpp.o.d"
+  "test_readduo"
+  "test_readduo.pdb"
+  "test_readduo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readduo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rowbuffer.dir/test_rowbuffer.cpp.o"
+  "CMakeFiles/test_rowbuffer.dir/test_rowbuffer.cpp.o.d"
+  "test_rowbuffer"
+  "test_rowbuffer.pdb"
+  "test_rowbuffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rowbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

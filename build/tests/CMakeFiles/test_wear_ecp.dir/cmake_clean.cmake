@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wear_ecp.dir/test_wear_ecp.cpp.o"
+  "CMakeFiles/test_wear_ecp.dir/test_wear_ecp.cpp.o.d"
+  "test_wear_ecp"
+  "test_wear_ecp.pdb"
+  "test_wear_ecp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wear_ecp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_bitvec[1]_include.cmake")
+include("/root/repo/build/tests/test_gf[1]_include.cmake")
+include("/root/repo/build/tests/test_bch[1]_include.cmake")
+include("/root/repo/build/tests/test_secded[1]_include.cmake")
+include("/root/repo/build/tests/test_drift[1]_include.cmake")
+include("/root/repo/build/tests/test_pcm[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_lwt_flags[1]_include.cmake")
+include("/root/repo/build/tests/test_readduo[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_wear_ecp[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_rowbuffer[1]_include.cmake")
+include("/root/repo/build/tests/test_chip[1]_include.cmake")
+include("/root/repo/build/tests/test_mc_ler[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_probe.dir/drift_probe.cpp.o"
+  "CMakeFiles/drift_probe.dir/drift_probe.cpp.o.d"
+  "drift_probe"
+  "drift_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readduo_sim.dir/readduo_sim.cpp.o"
+  "CMakeFiles/readduo_sim.dir/readduo_sim.cpp.o.d"
+  "readduo_sim"
+  "readduo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readduo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

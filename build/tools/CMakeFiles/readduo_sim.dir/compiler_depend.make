@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for readduo_sim.
+# This may be replaced when dependencies are built.
