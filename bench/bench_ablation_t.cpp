@@ -30,21 +30,37 @@ int main() {
   std::printf("== Ablation: conversion percentage T — static vs adaptive "
               "(LWT-4 normalized to Ideal)\n\n");
 
+  const char* names[] = {"sphinx3", "mcf", "soplex", "omnetpp"};
+  const unsigned static_ts[] = {0u, 30u, 60u, 100u};
+
+  // Per workload: Ideal, the four static-T pins, then adaptive — one flat
+  // concurrent batch.
+  std::vector<RunSpec> specs;
+  for (const char* name : names) {
+    const auto& w = trace::workload_by_name(name);
+    specs.push_back({readduo::SchemeKind::kIdeal, w});
+    for (unsigned tv : static_ts) {
+      specs.push_back({readduo::SchemeKind::kLwt, w, static_t(tv)});
+    }
+    specs.push_back({readduo::SchemeKind::kLwt, w});
+  }
+  const std::vector<RunResult> results = run_schemes(specs);
+
   stats::Table t({"Workload", "T=0", "T=30", "T=60", "T=100", "adaptive",
                   "adaptive conv-writes"});
-  for (const char* name : {"sphinx3", "mcf", "soplex", "omnetpp"}) {
+  std::size_t idx = 0;
+  for (const char* name : names) {
     const auto& w = trace::workload_by_name(name);
-    const RunResult ideal = run_scheme(readduo::SchemeKind::kIdeal, w);
+    const RunResult& ideal = results[idx++];
     const double base = static_cast<double>(ideal.summary.exec_time.v);
     std::vector<std::string> row = {w.name};
-    for (unsigned tv : {0u, 30u, 60u, 100u}) {
-      const RunResult r =
-          run_scheme(readduo::SchemeKind::kLwt, w, static_t(tv));
+    for ([[maybe_unused]] unsigned tv : static_ts) {
+      const RunResult& r = results[idx++];
       row.push_back(
           stats::fmt("%.3f", static_cast<double>(r.summary.exec_time.v) /
                                  base));
     }
-    const RunResult adaptive = run_scheme(readduo::SchemeKind::kLwt, w);
+    const RunResult& adaptive = results[idx++];
     row.push_back(stats::fmt(
         "%.3f", static_cast<double>(adaptive.summary.exec_time.v) / base));
     row.push_back(std::to_string(adaptive.counters.conversion_writes));

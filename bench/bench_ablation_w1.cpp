@@ -24,11 +24,21 @@ int main() {
   };
   constexpr std::size_t kN = std::size(kinds);
 
-  std::vector<std::vector<double>> time(kN), energy(kN), life(kN);
+  // One flat concurrent batch: Ideal followed by the five alternatives,
+  // per workload.
+  std::vector<RunSpec> specs;
   for (const auto& w : trace::spec2006_workloads()) {
-    const RunResult ideal = run_scheme(readduo::SchemeKind::kIdeal, w);
+    specs.push_back({readduo::SchemeKind::kIdeal, w});
+    for (auto kind : kinds) specs.push_back({kind, w});
+  }
+  const std::vector<RunResult> results = run_schemes(specs);
+
+  std::vector<std::vector<double>> time(kN), energy(kN), life(kN);
+  std::size_t idx = 0;
+  for ([[maybe_unused]] const auto& w : trace::spec2006_workloads()) {
+    const RunResult& ideal = results[idx++];
     for (std::size_t i = 0; i < kN; ++i) {
-      const RunResult r = run_scheme(kinds[i], w);
+      const RunResult& r = results[idx++];
       time[i].push_back(static_cast<double>(r.summary.exec_time.v) /
                         static_cast<double>(ideal.summary.exec_time.v));
       energy[i].push_back(r.summary.dynamic_energy_pj /

@@ -19,14 +19,22 @@ int main() {
   for (auto kind : paper_schemes()) {
     header.push_back(readduo::scheme_name(kind, opts));
   }
+  // One flat batch over (workload x scheme), executed concurrently.
+  std::vector<RunSpec> specs;
+  for (const auto& w : trace::spec2006_workloads()) {
+    for (auto kind : paper_schemes()) specs.push_back({kind, w});
+  }
+  const std::vector<RunResult> results = run_schemes(specs);
+
   std::vector<std::vector<double>> ratios(paper_schemes().size());
   stats::Table t(header);
+  std::size_t idx = 0;
   for (const auto& w : trace::spec2006_workloads()) {
     std::vector<std::string> row = {w.name};
     RunResult ideal;
     std::size_t i = 0;
     for (auto kind : paper_schemes()) {
-      const RunResult r = run_scheme(kind, w);
+      const RunResult& r = results[idx++];
       if (kind == readduo::SchemeKind::kIdeal) ideal = r;
       const double life = stats::relative_lifetime(r.summary, ideal.summary);
       ratios[i++].push_back(life);

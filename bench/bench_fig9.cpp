@@ -38,13 +38,21 @@ int main() {
       header.push_back(readduo::scheme_name(kind, opts));
     }
   }
+  // One flat batch over (workload x scheme), executed concurrently.
+  std::vector<RunSpec> specs;
+  for (const auto& w : trace::spec2006_workloads()) {
+    for (auto kind : paper_schemes()) specs.push_back({kind, w});
+  }
+  const std::vector<RunResult> results = run_schemes(specs);
+
   stats::Table t(header);
+  std::size_t idx = 0;
   for (const auto& w : trace::spec2006_workloads()) {
     std::vector<std::string> row = {w.name};
     double ideal = 0.0;
     std::size_t i = 0;
     for (auto kind : paper_schemes()) {
-      const RunResult r = run_scheme(kind, w);
+      const RunResult& r = results[idx++];
       const double time = static_cast<double>(r.summary.exec_time.v);
       if (kind == readduo::SchemeKind::kIdeal) ideal = time;
       const double ratio = time / ideal;

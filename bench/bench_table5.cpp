@@ -7,8 +7,11 @@
 // exploits.
 #include <cmath>
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "common/math.h"
+#include "common/parallel.h"
 #include "drift/error_model.h"
 #include "stats/report.h"
 
@@ -44,12 +47,31 @@ int main() {
 
   std::printf("== Table V: W=1 feasibility — conditions (ii) and (iii)\n");
   std::printf("   ('*' marks probabilities meeting the DRAM target)\n\n");
+
+  // Every (config, method) cell pair is independent; evaluate the whole
+  // 2x3x2 grid over the READDUO_THREADS pool, then format serially.
+  constexpr std::size_t kConfigs = std::size(configs);
+  std::vector<double> probs(2 * kConfigs * 2);
+  parallel_for_shards(probs.size(), [&](std::size_t i) {
+    const bool exact = i >= kConfigs * 2;
+    const Config& c = configs[(i / 2) % kConfigs];
+    const bool third = (i % 2) != 0;
+    if (exact) {
+      probs[i] = third ? c.calc->log_prob_third_interval(c.e, 1, c.s)
+                       : c.calc->log_prob_second_interval(c.e, 1, c.s);
+    } else {
+      probs[i] = third ? c.calc->log_prob_third_interval_indep(c.e, 1, c.s)
+                       : c.calc->log_prob_second_interval_indep(c.e, 1, c.s);
+    }
+  });
+
   std::printf("Paper's method (independence approximation, Section III-A):\n");
   stats::Table t({"Config", "P(ii)", "P(iii)", "LER_DRAM", "W=1 verdict"});
-  for (const Config& c : configs) {
+  for (std::size_t ci = 0; ci < kConfigs; ++ci) {
+    const Config& c = configs[ci];
     const double target = drift::LerCalculator::ler_dram_target(c.s);
-    const double p2 = c.calc->log_prob_second_interval_indep(c.e, 1, c.s);
-    const double p3 = c.calc->log_prob_third_interval_indep(c.e, 1, c.s);
+    const double p2 = probs[ci * 2];
+    const double p3 = probs[ci * 2 + 1];
     const bool ok = std::exp(p2) <= target && std::exp(p3) <= target;
     t.add_row({c.name, cell(p2, target), cell(p3, target),
                stats::fmt("%.2E", target), ok ? "SAFE" : "UNSAFE"});
@@ -60,10 +82,11 @@ int main() {
               "so a line clean at S can only\naccumulate p(2S)-p(S) error "
               "mass in the second interval):\n");
   stats::Table x({"Config", "P(ii)", "P(iii)", "LER_DRAM", "W=1 verdict"});
-  for (const Config& c : configs) {
+  for (std::size_t ci = 0; ci < kConfigs; ++ci) {
+    const Config& c = configs[ci];
     const double target = drift::LerCalculator::ler_dram_target(c.s);
-    const double p2 = c.calc->log_prob_second_interval(c.e, 1, c.s);
-    const double p3 = c.calc->log_prob_third_interval(c.e, 1, c.s);
+    const double p2 = probs[kConfigs * 2 + ci * 2];
+    const double p3 = probs[kConfigs * 2 + ci * 2 + 1];
     const bool ok = std::exp(p2) <= target && std::exp(p3) <= target;
     x.add_row({c.name, cell(p2, target), cell(p3, target),
                stats::fmt("%.2E", target), ok ? "SAFE" : "UNSAFE"});

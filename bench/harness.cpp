@@ -1,13 +1,20 @@
 #include "harness.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iomanip>
+#include <limits>
 #include <sstream>
+#include <system_error>
 
+#include <unistd.h>
+
+#include "common/parallel.h"
 #include "memsim/env.h"
 
 namespace rd::bench {
@@ -31,6 +38,9 @@ std::string cache_key(readduo::SchemeKind kind, const trace::Workload& w,
                       const readduo::ReadDuoOptions& opts,
                       std::uint64_t budget, std::uint64_t seed) {
   std::ostringstream os;
+  // Full round-trip precision: the default 6 significant digits would
+  // collide configs that differ only in a fine-grained float knob.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << scheme_name(kind, opts) << "_" << w.name << "_b" << budget << "_s"
      << seed << "_k" << opts.k << "_sw" << opts.select_s << "_c"
      << (opts.conversion ? 1 : 0) << "_f" << opts.changed_cell_fraction
@@ -75,7 +85,20 @@ bool load_cached(const std::string& key, RunResult& out) {
 
 void store_cached(const std::string& key, const RunResult& r) {
   std::filesystem::create_directories("bench_cache");
-  std::ofstream out(cache_path(key));
+  // Write-to-tmp + atomic rename: concurrent writers (pool threads of one
+  // batch, or separate bench processes sharing bench_cache/) either leave
+  // the old entry or publish a complete new one — never a torn file. The
+  // tmp name is unique per (process, write) so writers cannot clobber each
+  // other mid-write; duplicate writers of one key store identical bytes
+  // anyway (runs are deterministic), so last-rename-wins is benign.
+  static std::atomic<std::uint64_t> write_id{0};
+  const std::filesystem::path final_path = cache_path(key);
+  std::filesystem::path tmp_path = final_path;
+  tmp_path += ".tmp." + std::to_string(::getpid()) + "." +
+              std::to_string(write_id.fetch_add(1));
+  std::ofstream out(tmp_path);
+  // Round-trip doubles exactly, so a cache hit reproduces the fresh run.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
   const auto& c = r.counters;
   const auto& s = r.sim;
   out << r.summary.scheme << " " << r.summary.exec_time.v << " "
@@ -93,6 +116,10 @@ void store_cached(const std::string& key, const RunResult& r) {
       << s.write_cancellations << " " << s.read_latency_sum_ns << " "
       << s.bank_busy_ns << " " << s.scrub_backlog_end << " "
       << s.instructions << "\n";
+  out.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);
 }
 
 }  // namespace
@@ -122,6 +149,15 @@ RunResult run_scheme(readduo::SchemeKind kind, const trace::Workload& w,
       static_cast<double>(result.counters.cell_writes);
   if (cache_enabled()) store_cached(key, result);
   return result;
+}
+
+std::vector<RunResult> run_schemes(const std::vector<RunSpec>& specs) {
+  std::vector<RunResult> results(specs.size());
+  parallel_for_shards(specs.size(), [&](std::size_t i) {
+    const RunSpec& s = specs[i];
+    results[i] = run_scheme(s.kind, s.workload, s.opts, s.seed);
+  });
+  return results;
 }
 
 const std::vector<readduo::SchemeKind>& paper_schemes() {

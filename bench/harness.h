@@ -5,6 +5,13 @@
 // are memoized to an on-disk cache under bench_cache/, keyed by the full
 // run configuration. Set READDUO_CACHE=0 to disable, READDUO_INSTR=<n>
 // to change the per-core instruction budget (default 6,000,000).
+//
+// Independent (scheme x workload) simulations are embarrassingly parallel
+// — every Simulator owns its whole state — so sweep binaries batch their
+// runs through run_schemes(), which fans the batch out over the
+// READDUO_THREADS pool (see common/parallel.h). Cache files are written
+// via tmp-file + rename, so concurrent runs (threads or whole processes)
+// never observe a torn cache entry.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +40,21 @@ std::uint64_t instruction_budget();
 RunResult run_scheme(readduo::SchemeKind kind, const trace::Workload& w,
                      const readduo::ReadDuoOptions& opts = {},
                      std::uint64_t seed = 42);
+
+/// One (scheme, workload) run request for the batch API.
+struct RunSpec {
+  readduo::SchemeKind kind;
+  trace::Workload workload;
+  readduo::ReadDuoOptions opts = {};
+  std::uint64_t seed = 42;
+};
+
+/// Execute every spec — concurrently over the READDUO_THREADS pool, since
+/// each simulation is independent — and return the results in spec order.
+/// Each run hits the same on-disk cache as run_scheme(), so a batch mixes
+/// cached and fresh runs freely; results are identical to calling
+/// run_scheme() serially for each spec.
+std::vector<RunResult> run_schemes(const std::vector<RunSpec>& specs);
 
 /// The paper's six evaluated schemes, in Figure 9 order.
 const std::vector<readduo::SchemeKind>& paper_schemes();

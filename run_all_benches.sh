@@ -1,8 +1,15 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper, in order. The heavy
-# full-system sweeps share runs through bench_cache/.
+# full-system sweeps share runs through bench_cache/ and fan out over the
+# READDUO_THREADS pool (default: all cores; =1 forces serial execution).
+# Per-bench and total wall-clock are printed so perf changes have a
+# trajectory to cite.
 set -e
 cd "$(dirname "$0")"
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+total_start=$(now_ms)
 for b in \
     bench_tables_1_2 bench_table3 bench_table4 bench_table5 bench_table7 \
     bench_fig3 bench_fig4 bench_fig6 bench_fig9 bench_fig10 bench_fig11 \
@@ -11,6 +18,12 @@ for b in \
     bench_ext_rowbuffer bench_ext_temperature bench_ext_pausing \
     bench_micro; do
   echo "##### $b #####"
+  bench_start=$(now_ms)
   "./build/bench/$b"
+  bench_end=$(now_ms)
+  echo "----- $b: $(( bench_end - bench_start )) ms"
   echo
 done
+total_end=$(now_ms)
+echo "===== total wall-clock: $(( total_end - total_start )) ms" \
+     "(READDUO_THREADS=${READDUO_THREADS:-auto})"

@@ -1,9 +1,9 @@
 #include "common/math.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <mutex>
 
 #include "common/check.h"
@@ -121,13 +121,15 @@ QuadratureRule make_gauss_legendre(std::size_t n) {
 }  // namespace
 
 const QuadratureRule& gauss_legendre(std::size_t n) {
-  RD_CHECK(n >= 2 && n <= 256);
-  static std::mutex mu;
-  static std::map<std::size_t, QuadratureRule> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(n);
-  if (it == cache.end()) it = cache.emplace(n, make_gauss_legendre(n)).first;
-  return it->second;
+  constexpr std::size_t kMaxOrder = 256;
+  RD_CHECK(n >= 2 && n <= kMaxOrder);
+  // One once_flag per order: after initialization every call is a plain
+  // read with no lock, so concurrent integrations (parallel bench sweeps,
+  // sharded Monte-Carlo) never contend here.
+  static std::array<std::once_flag, kMaxOrder + 1> flags;
+  static std::array<QuadratureRule, kMaxOrder + 1> rules;
+  std::call_once(flags[n], [n] { rules[n] = make_gauss_legendre(n); });
+  return rules[n];
 }
 
 }  // namespace rd

@@ -42,8 +42,8 @@ double log_binomial_tail_gt(std::uint64_t n, std::uint64_t k, double log_p);
 double log_binomial_pmf(std::uint64_t n, std::uint64_t k, double log_p);
 
 /// Gauss–Legendre quadrature rule on [-1, 1] with n points.
-/// Nodes/weights are computed once per order and cached (thread-safe since
-/// the simulator is single-threaded; documented invariant).
+/// Nodes/weights are computed once per order (std::call_once) and cached;
+/// safe to call from any number of threads concurrently.
 struct QuadratureRule {
   std::vector<double> nodes;
   std::vector<double> weights;

@@ -1,0 +1,171 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rd {
+
+namespace {
+
+// True on pool worker threads, and on a caller thread while it participates
+// in a shard loop. Nested parallel_for calls from inside a shard run
+// inline instead of deadlocking on the (busy) pool.
+thread_local bool t_in_parallel_region = false;
+
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(t_in_parallel_region) { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = prev; }
+};
+
+}  // namespace
+
+unsigned parallel_thread_count() {
+  if (const char* e = std::getenv("READDUO_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(e, &end, 10);
+    if (end != e && *end == '\0' && v >= 1) {
+      return static_cast<unsigned>(v > 512 ? 512 : v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  // One job at a time; callers queue on job_mu.
+  std::mutex job_mu;
+
+  // Current job, guarded by mu except `next` (claimed lock-free).
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t active = 0;  // workers currently inside run_shards
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::exception_ptr error;
+
+  std::vector<std::thread> workers;
+
+  // Claim and execute shards until the job is exhausted. Called without mu.
+  void run_shards() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(mu);
+        if (!error) error = std::current_exception();
+        // Abandon the remaining shards; in-flight ones finish.
+        next.store(n, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_loop() {
+    t_in_parallel_region = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      cv_work.wait(lk, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      ++active;
+      lk.unlock();
+      run_shards();
+      lk.lock();
+      --active;
+      if (active == 0) cv_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : impl_(std::make_unique<Impl>()), threads_(threads == 0 ? 1 : threads) {
+  impl_->workers.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1 || t_in_parallel_region) {
+    // Legacy serial path: in index order, on the calling thread.
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> job(im.job_mu);
+  {
+    std::lock_guard<std::mutex> g(im.mu);
+    im.fn = &fn;
+    im.n = n;
+    im.next.store(0, std::memory_order_relaxed);
+    im.error = nullptr;
+    ++im.generation;
+  }
+  im.cv_work.notify_all();
+  {
+    RegionGuard guard;
+    im.run_shards();
+  }
+  std::unique_lock<std::mutex> lk(im.mu);
+  im.cv_done.wait(lk, [&] {
+    return im.active == 0 && im.next.load(std::memory_order_relaxed) >= im.n;
+  });
+  if (im.error) {
+    std::exception_ptr e = im.error;
+    im.error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void parallel_for_shards(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned want = parallel_thread_count();
+  if (want <= 1 || n == 1 || t_in_parallel_region) {
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Process-wide pool, rebuilt when READDUO_THREADS changes. A shared_ptr
+  // copy keeps a pool alive for callers still running on it after a swap.
+  static std::mutex mu;
+  static std::shared_ptr<ThreadPool> pool;
+  std::shared_ptr<ThreadPool> local;
+  {
+    std::lock_guard<std::mutex> g(mu);
+    if (!pool || pool->size() != want) {
+      pool = std::make_shared<ThreadPool>(want);
+    }
+    local = pool;
+  }
+  local->parallel_for(n, fn);
+}
+
+}  // namespace rd

@@ -28,6 +28,13 @@ void Rng::reseed(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+void Rng::reseed(std::uint64_t seed, std::uint64_t stream) {
+  // Full-avalanche mix of the stream index folded into the seed, so
+  // neighbouring (seed, stream) pairs expand to decorrelated states.
+  std::uint64_t t = stream;
+  reseed(seed ^ splitmix64(t));
+}
+
 std::uint64_t Rng::next() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -21,8 +21,18 @@ class Rng {
 
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
 
+  /// Stream constructor: a decorrelated generator for sub-stream `stream`
+  /// of `seed`. Used by parallel Monte-Carlo shards — Rng(seed, shard)
+  /// depends only on (seed, shard), never on thread count or execution
+  /// order, which is what makes sharded sampling bit-reproducible.
+  /// Note Rng(seed, 0) is a different stream than Rng(seed).
+  Rng(std::uint64_t seed, std::uint64_t stream) { reseed(seed, stream); }
+
   /// Re-initialize the state from a 64-bit seed (splitmix64 expansion).
   void reseed(std::uint64_t seed);
+
+  /// Re-initialize from a (seed, stream) pair; see the stream constructor.
+  void reseed(std::uint64_t seed, std::uint64_t stream);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {

@@ -1,11 +1,22 @@
 #include "pcm/mc_ler.h"
 
 #include <cmath>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 
 namespace rd::pcm {
+
+namespace {
+
+// Lines per shard. Fixed (never derived from the thread count) so the
+// shard decomposition — and with it every Rng(seed, shard) stream — is
+// identical no matter how many threads execute it.
+constexpr std::uint64_t kShardLines = 8192;
+
+}  // namespace
 
 double McLerResult::stderr_() const {
   if (lines == 0) return 0.0;
@@ -17,19 +28,31 @@ McLerResult mc_ler(const drift::MetricConfig& config,
                    const drift::LineGeometry& geometry,
                    unsigned e, double t_seconds, std::uint64_t lines,
                    std::uint64_t seed) {
-  Rng rng(seed);
   McLerResult result;
   result.lines = lines;
+  if (lines == 0) return result;
   const unsigned cells = geometry.total_cells();
-  for (std::uint64_t l = 0; l < lines; ++l) {
-    unsigned errors = 0;
-    for (unsigned c = 0; c < cells && errors <= e; ++c) {
-      Cell cell;
-      cell.program(rng.uniform_below(drift::kNumStates), 0.0, rng, config);
-      errors += cell.drift_error(t_seconds, config) ? 1 : 0;
+  const std::uint64_t shards = (lines + kShardLines - 1) / kShardLines;
+  std::vector<std::uint64_t> shard_failures(shards, 0);
+  parallel_for_shards(shards, [&](std::size_t shard) {
+    Rng rng(seed, shard);
+    const std::uint64_t begin = static_cast<std::uint64_t>(shard) * kShardLines;
+    const std::uint64_t end = std::min(lines, begin + kShardLines);
+    std::uint64_t failures = 0;
+    for (std::uint64_t l = begin; l < end; ++l) {
+      unsigned errors = 0;
+      for (unsigned c = 0; c < cells && errors <= e; ++c) {
+        Cell cell;
+        cell.program(rng.uniform_below(drift::kNumStates), 0.0, rng, config);
+        errors += cell.drift_error(t_seconds, config) ? 1 : 0;
+      }
+      if (errors > e) ++failures;
     }
-    if (errors > e) ++result.failures;
-  }
+    shard_failures[shard] = failures;
+  });
+  // Ordered reduction (uint64 addition is associative anyway, but keeping
+  // the shard order makes the contract obvious and extension-proof).
+  for (std::uint64_t f : shard_failures) result.failures += f;
   return result;
 }
 

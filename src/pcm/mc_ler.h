@@ -31,7 +31,10 @@ struct McLerResult {
 
 /// Simulate `lines` fresh lines of `geometry` cells under `config`,
 /// age them to t_seconds, and count lines with more than `e` drift
-/// errors. Deterministic in `seed`.
+/// errors. The population is sharded over the READDUO_THREADS pool in
+/// fixed-size blocks with per-shard Rng(seed, shard) streams and an
+/// ordered reduction, so the result is a pure function of the arguments:
+/// bit-identical for every thread count (enforced by test_parallel).
 McLerResult mc_ler(const drift::MetricConfig& config,
                    const drift::LineGeometry& geometry,
                    unsigned e, double t_seconds, std::uint64_t lines,

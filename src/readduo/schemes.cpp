@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "common/check.h"
@@ -14,12 +15,17 @@ namespace {
 
 /// Shared steady-state samplers: pure functions of (metric, interval, nu)
 /// and ~0.5 s to build, so scheme instances share them per process.
+/// Mutex-guarded: concurrent bench runs (bench::run_schemes) construct
+/// schemes from pool threads. Entries are never erased and the map keeps
+/// node addresses stable, so the returned reference outlives the lock.
 const ScrubAgeSampler& shared_sampler(bool m_metric, unsigned cells,
                                       double interval, unsigned nu) {
+  static std::mutex mu;
   static std::map<std::tuple<bool, unsigned, double, unsigned>,
                   std::unique_ptr<ScrubAgeSampler>>
       cache;
   const auto key = std::make_tuple(m_metric, cells, interval, nu);
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
     const drift::ErrorModel& model =
