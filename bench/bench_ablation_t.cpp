@@ -27,6 +27,7 @@ readduo::ReadDuoOptions static_t(unsigned t) {
 }  // namespace
 
 int main() {
+  bench::set_bench_name("ablation_t");
   std::printf("== Ablation: conversion percentage T — static vs adaptive "
               "(LWT-4 normalized to Ideal)\n\n");
 

@@ -12,6 +12,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("ablation_w1");
   std::printf("== Ablation: reliable drift mitigation alternatives "
               "(geomean over the 14 workloads, normalized to Ideal)\n\n");
 

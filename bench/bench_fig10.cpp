@@ -12,6 +12,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig10");
   std::printf("== Figure 10: normalized dynamic energy (budget %llu "
               "instructions/core)\n\n",
               static_cast<unsigned long long>(instruction_budget()));

@@ -10,6 +10,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig11");
   std::printf("== Figure 11: density and EDAP vs the TLC baseline (budget "
               "%llu instructions/core)\n\n",
               static_cast<unsigned long long>(instruction_budget()));

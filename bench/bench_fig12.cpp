@@ -11,6 +11,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig12");
   std::printf("== Figure 12: impact of sub-interval count k (LWT-k "
               "execution time normalized to Ideal)\n\n");
 

@@ -10,6 +10,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig13");
   std::printf("== Figure 13: impact of selective-rewrite window s "
               "(Select-4:s dynamic energy normalized to Ideal)\n\n");
 

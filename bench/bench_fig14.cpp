@@ -11,6 +11,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig14");
   std::printf("== Figure 14: R-M-read conversion in LWT-4 (execution time "
               "normalized to Ideal)\n\n");
 

@@ -10,6 +10,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig15");
   std::printf("== Figure 15: relative PCM lifetime (1/cell-write rate), "
               "Ideal = 1.0 (budget %llu instructions/core)\n\n",
               static_cast<unsigned long long>(instruction_budget()));

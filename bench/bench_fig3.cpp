@@ -10,6 +10,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig3");
   std::printf("== Figure 3: prior schemes' performance degradation and "
               "density penalty (vs drift-free Ideal)\n\n");
 

@@ -13,6 +13,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig4");
   std::printf("== Figure 4: read service modes\n\n");
 
   // Analytic bucket probabilities under R-sensing vs line age.

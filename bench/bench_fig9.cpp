@@ -11,6 +11,7 @@ using namespace rd;
 using namespace rd::bench;
 
 int main() {
+  bench::set_bench_name("fig9");
   std::printf("== Figure 9: normalized execution time (budget %llu "
               "instructions/core)\n",
               static_cast<unsigned long long>(instruction_budget()));

@@ -1,6 +1,7 @@
 #include "harness.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,20 +10,26 @@
 #include <functional>
 #include <iomanip>
 #include <limits>
+#include <mutex>
 #include <sstream>
+#include <string_view>
 #include <system_error>
 
 #include <unistd.h>
 
+#include "common/env.h"
 #include "common/parallel.h"
 #include "memsim/env.h"
+#include "stats/json.h"
 
 namespace rd::bench {
 
 std::uint64_t instruction_budget() {
   if (const char* e = std::getenv("READDUO_INSTR")) {
-    const std::uint64_t v = std::strtoull(e, nullptr, 10);
-    if (v > 0) return v;
+    const std::uint64_t v = parse_env_u64("READDUO_INSTR", e);
+    RD_CHECK_MSG(v > 0, "READDUO_INSTR must be a positive instruction "
+                        "count, got '" << e << "'");
+    return v;
   }
   return 6'000'000;
 }
@@ -32,6 +39,16 @@ namespace {
 bool cache_enabled() {
   const char* e = std::getenv("READDUO_CACHE");
   return e == nullptr || std::string(e) != "0";
+}
+
+/// READDUO_METRICS destination: nullptr = disabled, "1" = stdout,
+/// anything else = file (or directory) path.
+const char* metrics_dest() {
+  const char* e = std::getenv("READDUO_METRICS");
+  if (e == nullptr || *e == '\0' || std::string_view(e) == "0") {
+    return nullptr;
+  }
+  return e;
 }
 
 std::string cache_key(readduo::SchemeKind kind, const trace::Workload& w,
@@ -62,25 +79,7 @@ std::filesystem::path cache_path(const std::string& key) {
 bool load_cached(const std::string& key, RunResult& out) {
   std::ifstream in(cache_path(key));
   if (!in) return false;
-  std::string name;
-  std::int64_t exec = 0;
-  auto& c = out.counters;
-  auto& s = out.sim;
-  in >> name >> exec >> out.summary.dynamic_energy_pj >>
-      out.summary.static_watts >> out.summary.cells_per_line >>
-      out.summary.cell_writes >> c.r_reads >> c.m_reads >> c.rm_reads >>
-      c.untracked_reads >> c.converted_reads >> c.demand_full_writes >>
-      c.demand_diff_writes >> c.conversion_writes >> c.scrub_senses >>
-      c.scrub_rewrites >> c.detected_uncorrectable >> c.silent_corruptions >>
-      c.cell_writes >> c.read_energy_pj >> c.write_energy_pj >>
-      c.scrub_energy_pj >> s.reads_serviced >> s.writes_serviced >>
-      s.scrubs_serviced >> s.write_cancellations >> s.read_latency_sum_ns >>
-      s.bank_busy_ns >> s.scrub_backlog_end >> s.instructions;
-  if (!in) return false;
-  out.summary.scheme = name;
-  out.summary.exec_time = Ns{exec};
-  out.sim.exec_time = Ns{exec};
-  return true;
+  return detail::parse_cache_entry(in, out);
 }
 
 void store_cached(const std::string& key, const RunResult& r) {
@@ -97,10 +96,248 @@ void store_cached(const std::string& key, const RunResult& r) {
   tmp_path += ".tmp." + std::to_string(::getpid()) + "." +
               std::to_string(write_id.fetch_add(1));
   std::ofstream out(tmp_path);
+  detail::write_cache_entry(out, r);
+  out.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);
+}
+
+// ------------------------------------------------- metrics registry ---
+
+/// One executed (or cache-served) run, retained for the metrics export.
+struct RunRecord {
+  std::string workload;
+  std::uint64_t seed = 0;
+  bool cached = false;
+  double wall_ms = 0.0;
+  RunResult result;
+};
+
+/// Process-wide harness self-metrics + per-run records.
+struct Harness {
+  std::mutex mu;
+  std::vector<RunRecord> runs;  ///< populated only when metrics_dest()
+  std::string bench_name = "bench";
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> wall_us{0};      ///< summed across runs
+  std::atomic<std::uint64_t> max_run_us{0};
+};
+
+Harness& harness() {
+  static Harness h;
+  return h;
+}
+
+/// Strip the trailing newline JsonWriter::str() emits, so nested raw
+/// values compose without blank lines before commas.
+std::string chomp(std::string s) {
+  while (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+std::string hist_json(const stats::LatencyHistogram& h) {
+  stats::JsonWriter jw;
+  jw.add("count", h.count())
+      .add("mean_ns", h.mean())
+      .add("p50_ns", h.p50())
+      .add("p95_ns", h.p95())
+      .add("p99_ns", h.p99())
+      .add("max_ns", h.max());
+  return chomp(jw.str());
+}
+
+template <typename T, typename Fn>
+std::string json_array(const std::vector<T>& xs, Fn&& render) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ", ";
+    os << render(xs[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string run_json(const RunRecord& rec) {
+  const RunResult& r = rec.result;
+  const stats::SimMetrics& m = r.sim.metrics;
+  stats::JsonWriter jw;
+  jw.add("scheme", r.summary.scheme)
+      .add("workload", rec.workload)
+      .add("seed", rec.seed)
+      .add("cached", std::uint64_t{rec.cached ? 1u : 0u})
+      .add("wall_ms", rec.wall_ms)
+      .add("exec_time_ns", static_cast<std::uint64_t>(r.sim.exec_time.v))
+      .add("instructions", r.sim.instructions)
+      .add("reads", r.sim.reads_serviced)
+      .add("writes", r.sim.writes_serviced)
+      .add("avg_read_latency_ns", r.sim.avg_read_latency_ns())
+      .add("detected_uncorrectable", r.counters.detected_uncorrectable)
+      .add("silent_corruptions", r.counters.silent_corruptions);
+  const stats::LatencyHistogram all_reads = m.demand_reads();
+  jw.add("read_p50_ns", all_reads.p50())
+      .add("read_p95_ns", all_reads.p95())
+      .add("read_p99_ns", all_reads.p99())
+      .add("read_max_ns", all_reads.max());
+  stats::JsonWriter classes;
+  for (std::size_t c = 0; c < stats::kNumReqClasses; ++c) {
+    classes.add_raw(stats::req_class_name(static_cast<stats::ReqClass>(c)),
+                    hist_json(m.latency[c]));
+  }
+  jw.add_raw("latency", chomp(classes.str()));
+  const double exec =
+      r.sim.exec_time.v > 0 ? static_cast<double>(r.sim.exec_time.v) : 1.0;
+  jw.add_raw("bank_utilization",
+             json_array(m.banks, [&](const stats::BankGauge& g) {
+               std::ostringstream os;
+               os << static_cast<double>(g.busy_ns) / exec;
+               return os.str();
+             }));
+  jw.add_raw("bank_avg_queue_depth",
+             json_array(m.banks, [](const stats::BankGauge& g) {
+               std::ostringstream os;
+               os << g.avg_depth();
+               return os.str();
+             }));
+  jw.add_raw("bank_max_queue_depth",
+             json_array(m.banks, [](const stats::BankGauge& g) {
+               return std::to_string(g.depth_max);
+             }));
+  return chomp(jw.str());
+}
+
+/// atexit hook: print the harness self-metrics line (always) and write the
+/// JSON metrics export (when READDUO_METRICS is set).
+void emit_metrics() {
+  Harness& h = harness();
+  const std::uint64_t hits = h.cache_hits.load();
+  const std::uint64_t misses = h.cache_misses.load();
+  std::printf("== harness: runs=%llu cache_hits=%llu cache_misses=%llu "
+              "threads=%u sim_wall_ms=%llu max_run_ms=%llu\n",
+              static_cast<unsigned long long>(hits + misses),
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses),
+              parallel_thread_count(),
+              static_cast<unsigned long long>(h.wall_us.load() / 1000),
+              static_cast<unsigned long long>(h.max_run_us.load() / 1000));
+
+  const char* dest = metrics_dest();
+  if (dest == nullptr) return;
+
+  std::lock_guard<std::mutex> g(h.mu);
+  stats::JsonWriter doc;
+  doc.add("bench", h.bench_name)
+      .add("schema_version",
+           static_cast<std::uint64_t>(detail::kCacheSchemaVersion))
+      .add("threads", std::uint64_t{parallel_thread_count()})
+      .add("cache_hits", hits)
+      .add("cache_misses", misses)
+      .add("sim_wall_ms", static_cast<std::uint64_t>(h.wall_us.load() / 1000))
+      .add("max_run_ms",
+           static_cast<std::uint64_t>(h.max_run_us.load() / 1000));
+  std::string runs = "[\n";
+  for (std::size_t i = 0; i < h.runs.size(); ++i) {
+    runs += run_json(h.runs[i]);
+    if (i + 1 < h.runs.size()) runs += ',';
+    runs += '\n';
+  }
+  runs += "]";
+  doc.add_raw("runs", runs);
+  const std::string body = doc.str();
+
+  if (std::string_view(dest) == "1") {
+    std::fputs(body.c_str(), stdout);
+    return;
+  }
+  std::filesystem::path path(dest);
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    path /= h.bench_name + "_metrics.json";
+  }
+  std::ofstream out(path);
+  out << body;
+}
+
+void ensure_exit_hook() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(emit_metrics); });
+}
+
+RunResult run_fresh(readduo::SchemeKind kind, const trace::Workload& w,
+                    const readduo::ReadDuoOptions& opts, std::uint64_t seed,
+                    std::uint64_t budget) {
+  RunResult result;
+  memsim::SimConfig cfg;
+  cfg.instructions_per_core = budget;
+  cfg.seed = seed;
+  cfg.trace_events = stats::trace_ring_capacity_from_env();
+  readduo::SchemeEnv env = memsim::make_scheme_env(w, cfg.cpu, seed);
+  auto scheme = readduo::make_scheme(kind, env, opts);
+  memsim::Simulator sim(cfg, *scheme, w);
+  result.sim = sim.run();
+  result.counters = scheme->counters();
+  result.summary.scheme = scheme->name();
+  result.summary.exec_time = result.sim.exec_time;
+  result.summary.dynamic_energy_pj = result.counters.dynamic_energy_pj();
+  result.summary.static_watts = env.energy.static_watts;
+  result.summary.cells_per_line = scheme->cells_per_line();
+  result.summary.cell_writes =
+      static_cast<double>(result.counters.cell_writes);
+  return result;
+}
+
+/// The single run path behind both public entry points. Fills `rec` (when
+/// the metrics export is on) but does NOT register it — the caller owns
+/// registration order, so batch exports list runs in spec order no matter
+/// how the pool interleaved them.
+RunResult run_one(readduo::SchemeKind kind, const trace::Workload& w,
+                  const readduo::ReadDuoOptions& opts, std::uint64_t seed,
+                  RunRecord* rec) {
+  ensure_exit_hook();
+  const std::uint64_t budget = instruction_budget();
+  const std::string key = cache_key(kind, w, opts, budget, seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult result;
+  bool cached = true;
+  if (!(cache_enabled() && load_cached(key, result))) {
+    cached = false;
+    result = run_fresh(kind, w, opts, seed, budget);
+    if (cache_enabled()) store_cached(key, result);
+  }
+  const auto us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  Harness& h = harness();
+  (cached ? h.cache_hits : h.cache_misses).fetch_add(1);
+  h.wall_us.fetch_add(us);
+  std::uint64_t prev = h.max_run_us.load();
+  while (us > prev && !h.max_run_us.compare_exchange_weak(prev, us)) {
+  }
+
+  if (rec != nullptr && metrics_dest() != nullptr) {
+    rec->workload = w.name;
+    rec->seed = seed;
+    rec->cached = cached;
+    rec->wall_ms = static_cast<double>(us) / 1000.0;
+    rec->result = result;
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace detail {
+
+void write_cache_entry(std::ostream& out, const RunResult& r) {
   // Round-trip doubles exactly, so a cache hit reproduces the fresh run.
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
   const auto& c = r.counters;
   const auto& s = r.sim;
+  out << "v" << kCacheSchemaVersion << "\n";
   out << r.summary.scheme << " " << r.summary.exec_time.v << " "
       << r.summary.dynamic_energy_pj << " " << r.summary.static_watts << " "
       << r.summary.cells_per_line << " " << r.summary.cell_writes << " "
@@ -115,48 +352,127 @@ void store_cached(const std::string& key, const RunResult& r) {
       << s.writes_serviced << " " << s.scrubs_serviced << " "
       << s.write_cancellations << " " << s.read_latency_sum_ns << " "
       << s.bank_busy_ns << " " << s.scrub_backlog_end << " "
-      << s.instructions << "\n";
-  out.close();
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) std::filesystem::remove(tmp_path, ec);
+      << s.instructions << " " << s.scrub_rewrites_dropped << " "
+      << s.row_hits << "\n";
+  // Metrics: histograms stored sparsely (only occupied buckets).
+  const stats::SimMetrics& m = s.metrics;
+  out << "M " << stats::kNumReqClasses << " "
+      << stats::LatencyHistogram::kNumBuckets << "\n";
+  for (const stats::LatencyHistogram& h : m.latency) {
+    std::size_t nnz = 0;
+    for (std::uint64_t b : h.buckets()) nnz += b != 0;
+    out << h.sum() << " " << h.max() << " " << nnz;
+    for (std::size_t i = 0; i < stats::LatencyHistogram::kNumBuckets; ++i) {
+      if (h.buckets()[i] != 0) out << " " << i << " " << h.buckets()[i];
+    }
+    out << "\n";
+  }
+  out << "B " << m.banks.size() << "\n";
+  for (const stats::BankGauge& g : m.banks) {
+    out << g.busy_ns << " " << g.depth_samples << " " << g.depth_sum << " "
+        << g.depth_max << "\n";
+  }
 }
 
-}  // namespace
+bool parse_cache_entry(std::istream& in, RunResult& out) {
+  std::string tag;
+  if (!(in >> tag) || tag != "v" + std::to_string(kCacheSchemaVersion)) {
+    return false;  // unknown / stale schema: treat as a miss
+  }
+  std::string name;
+  std::int64_t exec = 0;
+  auto& c = out.counters;
+  auto& s = out.sim;
+  in >> name >> exec >> out.summary.dynamic_energy_pj >>
+      out.summary.static_watts >> out.summary.cells_per_line >>
+      out.summary.cell_writes >> c.r_reads >> c.m_reads >> c.rm_reads >>
+      c.untracked_reads >> c.converted_reads >> c.demand_full_writes >>
+      c.demand_diff_writes >> c.conversion_writes >> c.scrub_senses >>
+      c.scrub_rewrites >> c.detected_uncorrectable >> c.silent_corruptions >>
+      c.cell_writes >> c.read_energy_pj >> c.write_energy_pj >>
+      c.scrub_energy_pj >> s.reads_serviced >> s.writes_serviced >>
+      s.scrubs_serviced >> s.write_cancellations >> s.read_latency_sum_ns >>
+      s.bank_busy_ns >> s.scrub_backlog_end >> s.instructions >>
+      s.scrub_rewrites_dropped >> s.row_hits;
+  if (!in) return false;
+
+  std::string mtag;
+  std::size_t nclasses = 0, nbuckets = 0;
+  if (!(in >> mtag >> nclasses >> nbuckets) || mtag != "M" ||
+      nclasses != stats::kNumReqClasses ||
+      nbuckets != stats::LatencyHistogram::kNumBuckets) {
+    return false;
+  }
+  for (stats::LatencyHistogram& h : s.metrics.latency) {
+    std::int64_t sum = 0, max = 0;
+    std::size_t nnz = 0;
+    if (!(in >> sum >> max >> nnz) || nnz > nbuckets) return false;
+    std::array<std::uint64_t, stats::LatencyHistogram::kNumBuckets>
+        buckets{};
+    for (std::size_t k = 0; k < nnz; ++k) {
+      std::size_t idx = 0;
+      std::uint64_t count = 0;
+      if (!(in >> idx >> count) || idx >= nbuckets) return false;
+      buckets[idx] = count;
+    }
+    h.restore(buckets, sum, max);
+  }
+  std::string btag;
+  std::size_t nbanks = 0;
+  if (!(in >> btag >> nbanks) || btag != "B" || nbanks > 4096) return false;
+  s.metrics.banks.assign(nbanks, {});
+  for (stats::BankGauge& g : s.metrics.banks) {
+    if (!(in >> g.busy_ns >> g.depth_samples >> g.depth_sum >>
+          g.depth_max)) {
+      return false;
+    }
+  }
+  // Schema discipline: a well-formed entry ends exactly here. Leftover
+  // tokens mean the writer and reader disagree about the layout.
+  std::string extra;
+  if (in >> extra) return false;
+
+  out.summary.scheme = name;
+  out.summary.exec_time = Ns{exec};
+  out.sim.exec_time = Ns{exec};
+  return true;
+}
+
+}  // namespace detail
+
+void set_bench_name(const std::string& name) {
+  Harness& h = harness();
+  std::lock_guard<std::mutex> g(h.mu);
+  h.bench_name = name;
+}
 
 RunResult run_scheme(readduo::SchemeKind kind, const trace::Workload& w,
                      const readduo::ReadDuoOptions& opts,
                      std::uint64_t seed) {
-  const std::uint64_t budget = instruction_budget();
-  const std::string key = cache_key(kind, w, opts, budget, seed);
-  RunResult result;
-  if (cache_enabled() && load_cached(key, result)) return result;
-
-  memsim::SimConfig cfg;
-  cfg.instructions_per_core = budget;
-  cfg.seed = seed;
-  readduo::SchemeEnv env = memsim::make_scheme_env(w, cfg.cpu, seed);
-  auto scheme = readduo::make_scheme(kind, env, opts);
-  memsim::Simulator sim(cfg, *scheme, w);
-  result.sim = sim.run();
-  result.counters = scheme->counters();
-  result.summary.scheme = scheme->name();
-  result.summary.exec_time = result.sim.exec_time;
-  result.summary.dynamic_energy_pj = result.counters.dynamic_energy_pj();
-  result.summary.static_watts = env.energy.static_watts;
-  result.summary.cells_per_line = scheme->cells_per_line();
-  result.summary.cell_writes =
-      static_cast<double>(result.counters.cell_writes);
-  if (cache_enabled()) store_cached(key, result);
+  RunRecord rec;
+  RunResult result = run_one(kind, w, opts, seed, &rec);
+  if (metrics_dest() != nullptr) {
+    Harness& h = harness();
+    std::lock_guard<std::mutex> g(h.mu);
+    h.runs.push_back(std::move(rec));
+  }
   return result;
 }
 
 std::vector<RunResult> run_schemes(const std::vector<RunSpec>& specs) {
   std::vector<RunResult> results(specs.size());
+  std::vector<RunRecord> recs(specs.size());
   parallel_for_shards(specs.size(), [&](std::size_t i) {
     const RunSpec& s = specs[i];
-    results[i] = run_scheme(s.kind, s.workload, s.opts, s.seed);
+    results[i] = run_one(s.kind, s.workload, s.opts, s.seed, &recs[i]);
   });
+  // Register in spec order so the export is deterministic regardless of
+  // how the pool interleaved the runs.
+  if (metrics_dest() != nullptr) {
+    Harness& h = harness();
+    std::lock_guard<std::mutex> g(h.mu);
+    for (RunRecord& rec : recs) h.runs.push_back(std::move(rec));
+  }
   return results;
 }
 

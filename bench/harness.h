@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -33,8 +34,32 @@ struct RunResult {
   memsim::SimResult sim;
 };
 
-/// Per-core instruction budget: READDUO_INSTR or the 6M default.
+/// Per-core instruction budget: READDUO_INSTR or the 6M default. A set but
+/// malformed READDUO_INSTR (e.g. "6e6") throws instead of silently running
+/// the default budget.
 std::uint64_t instruction_budget();
+
+/// Name the running bench binary ("fig9", "table3", ...). Used to label
+/// the READDUO_METRICS export; optional (default "bench").
+void set_bench_name(const std::string& name);
+
+namespace detail {
+
+/// On-disk cache entry schema. Bump whenever RunResult (or anything it
+/// embeds) gains, loses, or reorders a serialized field; load_cached
+/// treats every other version as a miss instead of misparsing old bytes
+/// into new fields.
+inline constexpr int kCacheSchemaVersion = 2;
+
+/// Serialize one cache entry (schema tag + every RunResult field +
+/// metrics).
+void write_cache_entry(std::ostream& out, const RunResult& r);
+
+/// Strict inverse of write_cache_entry: false on wrong schema tag, short
+/// read, malformed metrics block, or trailing tokens.
+bool parse_cache_entry(std::istream& in, RunResult& out);
+
+}  // namespace detail
 
 /// Run `kind` on `workload` (cached unless READDUO_CACHE=0).
 RunResult run_scheme(readduo::SchemeKind kind, const trace::Workload& w,

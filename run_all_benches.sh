@@ -3,11 +3,16 @@
 # full-system sweeps share runs through bench_cache/ and fan out over the
 # READDUO_THREADS pool (default: all cores; =1 forces serial execution).
 # Per-bench and total wall-clock are printed so perf changes have a
-# trajectory to cite.
+# trajectory to cite, and the per-bench "== harness:" self-metrics lines
+# (runs, cache hits/misses, simulated wall-clock) are aggregated into a
+# final summary.
 set -e
 cd "$(dirname "$0")"
 
 now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+harness_log=$(mktemp)
+trap 'rm -f "$harness_log"' EXIT
 
 total_start=$(now_ms)
 for b in \
@@ -19,7 +24,7 @@ for b in \
     bench_micro; do
   echo "##### $b #####"
   bench_start=$(now_ms)
-  "./build/bench/$b"
+  "./build/bench/$b" | tee -a "$harness_log"
   bench_end=$(now_ms)
   echo "----- $b: $(( bench_end - bench_start )) ms"
   echo
@@ -27,3 +32,22 @@ done
 total_end=$(now_ms)
 echo "===== total wall-clock: $(( total_end - total_start )) ms" \
      "(READDUO_THREADS=${READDUO_THREADS:-auto})"
+
+# Roll up the harness self-metrics every bench printed at exit.
+awk '
+  /^== harness:/ {
+    for (i = 3; i <= NF; ++i) {
+      split($i, kv, "=")
+      if (kv[1] == "runs")         runs   += kv[2]
+      if (kv[1] == "cache_hits")   hits   += kv[2]
+      if (kv[1] == "cache_misses") misses += kv[2]
+      if (kv[1] == "sim_wall_ms")  simms  += kv[2]
+      if (kv[1] == "threads")      threads = kv[2]
+    }
+    benches += 1
+  }
+  END {
+    printf "===== harness totals: benches=%d runs=%d cache_hits=%d cache_misses=%d sim_wall_ms=%d threads=%d\n", \
+           benches, runs, hits, misses, simms, threads
+  }
+' "$harness_log"

@@ -1,0 +1,36 @@
+// Strict environment-variable parsing.
+//
+// Every READDUO_* integer knob goes through parse_env_u64 so a typo like
+// READDUO_INSTR=6e6 fails loudly instead of silently running the default
+// configuration (and mislabelling the resulting numbers).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace rd {
+
+/// Parse `value` (the content of env var `name`) as a base-10 unsigned
+/// integer. The whole string must be digits — no sign, whitespace,
+/// exponent, or trailing garbage. Throws CheckFailure otherwise.
+inline std::uint64_t parse_env_u64(const char* name, const char* value) {
+  RD_CHECK_MSG(value != nullptr && *value != '\0',
+               "env " << name << " is set but empty");
+  for (const char* p = value; *p; ++p) {
+    RD_CHECK_MSG(*p >= '0' && *p <= '9',
+                 "env " << name << "='" << value
+                        << "' is not a plain base-10 integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  RD_CHECK_MSG(errno == 0 && end == value + std::strlen(value),
+               "env " << name << "='" << value << "' is out of range");
+  return v;
+}
+
+}  // namespace rd

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
+
 namespace rd {
 
 namespace {
@@ -27,11 +29,11 @@ struct RegionGuard {
 
 unsigned parallel_thread_count() {
   if (const char* e = std::getenv("READDUO_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(e, &end, 10);
-    if (end != e && *end == '\0' && v >= 1) {
-      return static_cast<unsigned>(v > 512 ? 512 : v);
-    }
+    // Strict parse: a typo like READDUO_THREADS=banana must not silently
+    // run at hardware concurrency and mislabel the measurement.
+    const std::uint64_t v = parse_env_u64("READDUO_THREADS", e);
+    RD_CHECK_MSG(v >= 1, "READDUO_THREADS must be >= 1, got '" << e << "'");
+    return static_cast<unsigned>(v > 512 ? 512 : v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

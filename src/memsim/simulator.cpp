@@ -1,10 +1,24 @@
 #include "memsim/simulator.h"
 
 #include <algorithm>
+#include <iostream>
 
 #include "common/check.h"
 
 namespace rd::memsim {
+
+namespace {
+
+stats::ReqClass class_of(readduo::ReadMode mode) {
+  switch (mode) {
+    case readduo::ReadMode::kRRead: return stats::ReqClass::kRRead;
+    case readduo::ReadMode::kMRead: return stats::ReqClass::kMRead;
+    case readduo::ReadMode::kRMRead: return stats::ReqClass::kRMRead;
+  }
+  return stats::ReqClass::kRRead;
+}
+
+}  // namespace
 
 Simulator::Simulator(const SimConfig& cfg, readduo::Scheme& scheme,
                      const trace::Workload& workload)
@@ -21,6 +35,12 @@ Simulator::Simulator(const SimConfig& cfg, readduo::Scheme& scheme,
   bank_op_.assign(cfg.org.num_banks, BankOp::kNone);
   bank_read_.resize(cfg.org.num_banks);
   bank_scrub_rewrites_.assign(cfg.org.num_banks, 0);
+  result_.metrics.banks.resize(cfg.org.num_banks);
+  if (cfg.trace_events > 0) {
+    ring_ = std::make_unique<stats::EventRing>(cfg.trace_events);
+  }
+  reliab_seen_ = scheme.counters().detected_uncorrectable +
+                 scheme.counters().silent_corruptions;
 
   // Scrub period per bank: every line of the bank each S seconds, sensed
   // one row (lines_per_scrub lines) per operation.
@@ -159,8 +179,11 @@ void Simulator::enqueue_read(unsigned core, const trace::MemOp& op, Ns now,
       aborted.latency = bank.busy_until - now;
     }
     bank.write_q.push_front(aborted);
+    trace_event(now, 'C', stats::ReqClass::kDemandWrite, b, aborted.line,
+                bank.busy_until - now);
     // The bank becomes free now; the queued read dispatches immediately.
     result_.bank_busy_ns -= (bank.busy_until - now).v;
+    result_.metrics.banks[b].busy_ns -= (bank.busy_until - now).v;
     bank.busy = false;
     bank.write_in_service = false;
     bank_op_[b] = BankOp::kNone;
@@ -197,9 +220,43 @@ bool Simulator::enqueue_write(std::uint64_t line, WriteKind kind, Ns now) {
       out = scheme_.on_scrub_rewrite(now);
       break;
   }
-  bank.write_q.push_back(WriteReq{line, kind, out.latency, 0});
+  note_reliability(now);
+  bank.write_q.push_back(WriteReq{line, kind, out.latency, now, 0});
   if (!bank.busy) dispatch(b, now);
   return true;
+}
+
+void Simulator::sample_queue_gauge(unsigned b) {
+  const Bank& bank = banks_[b];
+  stats::BankGauge& g = result_.metrics.banks[b];
+  const std::uint64_t depth = bank.read_q.size() + bank.write_q.size();
+  ++g.depth_samples;
+  g.depth_sum += depth;
+  g.depth_max = std::max(g.depth_max, depth);
+}
+
+void Simulator::trace_event(Ns now, char kind, stats::ReqClass cls,
+                            unsigned bank, std::uint64_t line, Ns latency) {
+  if (!ring_) return;
+  ring_->push(stats::TraceEvent{now.v, kind,
+                                static_cast<std::uint8_t>(cls), bank, line,
+                                latency.v});
+}
+
+void Simulator::note_reliability(Ns now) {
+  const stats::Counters& c = scheme_.counters();
+  const std::uint64_t seen =
+      c.detected_uncorrectable + c.silent_corruptions;
+  if (seen == reliab_seen_) return;
+  if (ring_) {
+    ring_->dump(std::cerr,
+                "reliability event at t=" + std::to_string(now.v) +
+                    "ns (detected_uncorrectable=" +
+                    std::to_string(c.detected_uncorrectable) +
+                    ", silent_corruptions=" +
+                    std::to_string(c.silent_corruptions) + ")");
+  }
+  reliab_seen_ = seen;
 }
 
 void Simulator::dispatch(unsigned b, Ns now) {
@@ -211,10 +268,13 @@ void Simulator::dispatch(unsigned b, Ns now) {
 
   if (!bank.read_q.empty()) {
     // Reads first, FCFS.
-    const ReadReq req = bank.read_q.front();
+    sample_queue_gauge(b);
+    ReadReq req = bank.read_q.front();
     bank.read_q.pop_front();
     const readduo::ReadOutcome out =
         scheme_.on_read(req.line, now, req.archive);
+    note_reliability(now);
+    req.mode = out.mode;
     Ns latency = out.latency;
     if (cfg_.row_buffer.enabled) {
       const std::uint64_t row = req.line / cfg_.row_buffer.lines_per_row;
@@ -229,6 +289,8 @@ void Simulator::dispatch(unsigned b, Ns now) {
     bank_op_[b] = BankOp::kRead;
     bank_read_[b] = req;
     result_.bank_busy_ns += latency.v;
+    result_.metrics.banks[b].busy_ns += latency.v;
+    trace_event(now, 'R', class_of(req.mode), b, req.line, latency);
     // A converted R-M-read writes the line back as a low-priority write.
     if (out.convert_to_write) {
       enqueue_write(req.line, WriteKind::kConversion, now);
@@ -241,14 +303,19 @@ void Simulator::dispatch(unsigned b, Ns now) {
     // The scrub register points at an unrelated row: it evicts whatever
     // demand row was latched.
     if (cfg_.row_buffer.enabled) bank.open_row = ~0ull;
+    sample_queue_gauge(b);
     const readduo::ScrubOutcome s =
         scheme_.on_scrub(now, cfg_.org.lines_per_scrub);
+    note_reliability(now);
     --bank.scrub_backlog;
     bank.busy = true;
     bank.busy_until = now + s.sense_latency;
     bank_op_[b] = BankOp::kScrubSense;
     bank_scrub_rewrites_[b] = s.rewrites;
     result_.bank_busy_ns += s.sense_latency.v;
+    result_.metrics.banks[b].busy_ns += s.sense_latency.v;
+    trace_event(now, 'S', stats::ReqClass::kScrubRewrite, b, /*line=*/0,
+                s.sense_latency);
     schedule(bank.busy_until, EventKind::kBankDone, b, ++bank.op_tag);
   };
 
@@ -258,6 +325,7 @@ void Simulator::dispatch(unsigned b, Ns now) {
   }
 
   if (!bank.write_q.empty()) {
+    sample_queue_gauge(b);
     const WriteReq req = bank.write_q.front();
     bank.write_q.pop_front();
     if (cfg_.row_buffer.enabled) {
@@ -271,6 +339,8 @@ void Simulator::dispatch(unsigned b, Ns now) {
     bank.in_service = req;
     bank_op_[b] = BankOp::kWrite;
     result_.bank_busy_ns += req.latency.v;
+    result_.metrics.banks[b].busy_ns += req.latency.v;
+    trace_event(now, 'W', write_class(req.kind), b, req.line, req.latency);
     schedule(bank.busy_until, EventKind::kBankDone, b, ++bank.op_tag);
     // A write-queue slot freed: unblock stalled cores.
     for (unsigned c = 0; c < cores_.size(); ++c) {
@@ -285,6 +355,15 @@ void Simulator::dispatch(unsigned b, Ns now) {
   if (bank.scrub_backlog > 0) start_scrub();
 }
 
+stats::ReqClass Simulator::write_class(WriteKind kind) {
+  switch (kind) {
+    case WriteKind::kDemand: return stats::ReqClass::kDemandWrite;
+    case WriteKind::kConversion: return stats::ReqClass::kConversionWrite;
+    case WriteKind::kScrubRewrite: return stats::ReqClass::kScrubRewrite;
+  }
+  return stats::ReqClass::kDemandWrite;
+}
+
 void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
   Bank& bank = banks_[b];
   if (!bank.busy || tag != bank.op_tag) {
@@ -292,6 +371,7 @@ void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
     return;
   }
   const BankOp op = bank_op_[b];
+  const WriteReq done_write = bank.in_service;
   bank.busy = false;
   bank.write_in_service = false;
   bank_op_[b] = BankOp::kNone;
@@ -305,6 +385,8 @@ void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
       const Ns complete = bus_busy_until_;
       ++result_.reads_serviced;
       result_.read_latency_sum_ns += (complete - req.enqueue_time).v;
+      result_.metrics.lat(class_of(req.mode))
+          .record((complete - req.enqueue_time).v);
       if (req.blocking) {
         Core& core = cores_[req.core];
         RD_CHECK(core.blocked_on_read);
@@ -317,6 +399,10 @@ void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
     }
     case BankOp::kWrite:
       ++result_.writes_serviced;
+      // End-to-end latency: queueing (including cancellation restarts,
+      // since enqueue_time survives re-queueing) plus service.
+      result_.metrics.lat(write_class(done_write.kind))
+          .record((now - done_write.enqueue_time).v);
       break;
     case BankOp::kScrubSense:
       ++result_.scrubs_serviced;

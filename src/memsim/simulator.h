@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "common/units.h"
 #include "pcm/params.h"
 #include "readduo/scheme.h"
+#include "stats/metrics.h"
+#include "stats/trace_ring.h"
 #include "trace/generator.h"
 
 namespace rd::memsim {
@@ -71,6 +74,10 @@ struct SimConfig {
   unsigned max_write_cancellations = 4;
   /// Scrub backlog (in scrub periods) beyond which scrubs outrank writes.
   unsigned scrub_priority_backlog = 8;
+  /// Capacity of the flight-recorder event ring (READDUO_TRACE); 0 = off.
+  /// The retained events are dumped to stderr whenever the scheme reports
+  /// a detected_uncorrectable or silent_corruption.
+  std::size_t trace_events = 0;
 };
 
 /// Aggregate outcome of one run; per-event detail lives in the scheme's
@@ -93,6 +100,10 @@ struct SimResult {
   std::uint64_t scrub_rewrites_dropped = 0;
   /// Row-buffer hits among demand reads (0 unless row_buffer.enabled).
   std::uint64_t row_hits = 0;
+  /// Distributional observability: per-class end-to-end latency
+  /// histograms and per-bank queue/utilization gauges. Deterministic —
+  /// a function of (config, scheme, workload) only.
+  stats::SimMetrics metrics;
 
   double avg_read_latency_ns() const {
     return reads_serviced
@@ -126,12 +137,16 @@ class Simulator {
     /// bank and bus bandwidth).
     bool blocking;
     Ns enqueue_time;
+    /// Sensing mode chosen by the scheme at dispatch; classifies the
+    /// completion into the right latency histogram.
+    readduo::ReadMode mode = readduo::ReadMode::kRRead;
   };
   enum class WriteKind { kDemand, kConversion, kScrubRewrite };
   struct WriteReq {
     std::uint64_t line;
     WriteKind kind;
     Ns latency;       ///< planned by the scheme at enqueue time
+    Ns enqueue_time{0};
     unsigned cancellations = 0;
   };
 
@@ -196,6 +211,13 @@ class Simulator {
                     bool blocking);
   /// Returns false when the write queue is full (core must block).
   bool enqueue_write(std::uint64_t line, WriteKind kind, Ns now);
+  /// Sample bank `b`'s queue depth at a service point.
+  void sample_queue_gauge(unsigned b);
+  static stats::ReqClass write_class(WriteKind kind);
+  /// Dump the event ring if the scheme just reported a reliability event.
+  void note_reliability(Ns now);
+  void trace_event(Ns now, char kind, stats::ReqClass cls, unsigned bank,
+                   std::uint64_t line, Ns latency);
 
   SimConfig cfg_;
   readduo::Scheme& scheme_;
@@ -208,6 +230,11 @@ class Simulator {
   Ns bus_busy_until_{0};
   Ns scrub_period_{0};
   SimResult result_;
+  /// Flight recorder (null unless cfg.trace_events > 0).
+  std::unique_ptr<stats::EventRing> ring_;
+  /// detected_uncorrectable + silent_corruptions last observed, to detect
+  /// new reliability events after each scheme policy call.
+  std::uint64_t reliab_seen_ = 0;
 
   // What the bank is currently doing, to route the completion.
   enum class BankOp { kNone, kRead, kWrite, kScrubSense };

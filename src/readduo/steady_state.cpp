@@ -50,7 +50,18 @@ ScrubAgeSampler::ScrubAgeSampler(const drift::ErrorModel& model,
     survival.push_back(survival.back() * (1.0 - q));
     if (survival.back() < 1e-9) break;
   }
-  // Truncate the tail: any residual survival renews at the cap.
+  // Tail truncation. After the loop, survival.size() == last_j + 1 where
+  // last_j is the final scrub the loop modelled (max_j, or earlier when
+  // the survival mass fell below 1e-9 and the loop broke). The residual
+  // mass survival.back() = P(not rewritten by scrub last_j) cannot renew
+  // before the *next* scrub, at age (last_j + 1) * S == survival.size() *
+  // S — so crediting it there is not an off-by-one relative to the
+  // max_j * S cap: the cap bounds the modelled hazard, and survivors of
+  // the last modelled scrub renew one interval later at the earliest.
+  // Using that earliest time truncates conservatively: it can only
+  // under-estimate mean_interval_ and hence over-estimate rewrite_prob_.
+  // It also matches sample(), whose oldest age bucket is
+  // [last_j * S, survival.size() * S).
   const double residual = survival.back();
   renewal_mass += residual;
   mean += residual * static_cast<double>(survival.size()) * interval;

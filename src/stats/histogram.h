@@ -1,0 +1,139 @@
+// Fixed-bucket log-spaced latency histogram (HdrHistogram-style).
+//
+// Buckets are defined by pure integer arithmetic — a power-of-two octave
+// split into 4 linear sub-buckets — so recording is O(1), merge is a
+// bucket-wise sum, and the whole state is deterministic: the same multiset
+// of samples yields bit-identical histograms regardless of arrival order
+// or thread count. Resolution is <= 25% relative error per bucket, which
+// is plenty for p50/p95/p99 of memory latencies spanning 1 ns .. seconds.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace rd::stats {
+
+/// Histogram over non-negative nanosecond values. Values 0..3 get exact
+/// buckets; larger values land in bucket (octave, sub) with
+/// sub = the two bits below the leading bit (4 sub-buckets per octave).
+class LatencyHistogram {
+ public:
+  /// 4 exact small-value buckets + 4 sub-buckets for each octave 2..63.
+  static constexpr std::size_t kNumBuckets = 4 + 62 * 4;
+
+  /// Bucket that value `v` falls into. Monotone nondecreasing in v.
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < 4) return static_cast<std::size_t>(v);
+    const unsigned o = static_cast<unsigned>(std::bit_width(v)) - 1;
+    return 4 + (o - 2) * 4 + static_cast<std::size_t>((v >> (o - 2)) & 3);
+  }
+
+  /// Inclusive lower bound of bucket `i`.
+  static std::uint64_t bucket_lo(std::size_t i) {
+    if (i < 4) return i;
+    const unsigned o = 2 + static_cast<unsigned>(i - 4) / 4;
+    const std::uint64_t sub = (i - 4) % 4;
+    return (4 + sub) << (o - 2);
+  }
+
+  /// Exclusive upper bound of bucket `i`.
+  static std::uint64_t bucket_hi(std::size_t i) {
+    return i + 1 < kNumBuckets ? bucket_lo(i + 1)
+                               : std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Record one sample; negative values clamp to 0.
+  void record(std::int64_t ns) {
+    const std::uint64_t v = ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += static_cast<std::int64_t>(v);
+    max_ = std::max(max_, static_cast<std::int64_t>(v));
+  }
+
+  /// Bucket-wise sum; merging shard histograms in any order is identical
+  /// to recording every sample into one histogram.
+  void merge(const LatencyHistogram& o) {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    max_ = std::max(max_, o.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  /// Largest recorded value (exact, not bucketed); 0 when empty.
+  std::int64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at quantile p in [0, 1], linearly interpolated within the
+  /// containing bucket and clamped to the exact max. 0 when empty.
+  double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      last = i;
+      const double next = static_cast<double>(cum + buckets_[i]);
+      if (target <= next) {
+        return interpolate(i, target - static_cast<double>(cum));
+      }
+      cum += buckets_[i];
+    }
+    // p == 1 (or rounding): the top of the last occupied bucket.
+    return interpolate(last, static_cast<double>(buckets_[last]));
+  }
+
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
+
+  const std::array<std::uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Rebuild from serialized state (cache round-trip). `count` is implied
+  /// by the bucket totals.
+  void restore(const std::array<std::uint64_t, kNumBuckets>& buckets,
+               std::int64_t sum, std::int64_t max) {
+    buckets_ = buckets;
+    count_ = 0;
+    for (std::uint64_t b : buckets_) count_ += b;
+    sum_ = sum;
+    max_ = max;
+  }
+
+  bool operator==(const LatencyHistogram& o) const {
+    return buckets_ == o.buckets_ && count_ == o.count_ && sum_ == o.sum_ &&
+           max() == o.max();
+  }
+
+ private:
+  double interpolate(std::size_t bucket, double into_bucket) const {
+    const double lo = static_cast<double>(bucket_lo(bucket));
+    const double hi =
+        std::min(static_cast<double>(bucket_hi(bucket)),
+                 static_cast<double>(max()));
+    const double frac =
+        std::clamp(into_bucket / static_cast<double>(buckets_[bucket]), 0.0,
+                   1.0);
+    return std::min(lo + frac * (hi - lo), static_cast<double>(max()));
+  }
+
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace rd::stats

@@ -33,6 +33,13 @@ class JsonWriter {
     items_.emplace_back(key, escape(v), true);
     return *this;
   }
+  /// Insert a pre-rendered JSON value (object, array, …) verbatim. The
+  /// caller owns its validity; this is how nested structures are built
+  /// from flat writers.
+  JsonWriter& add_raw(const std::string& key, const std::string& json) {
+    items_.emplace_back(key, json, /*quoted=*/false);
+    return *this;
+  }
 
   /// Render as a JSON object, one key per line.
   std::string str() const {

@@ -1,0 +1,104 @@
+// Per-run observability: latency histograms per request class and
+// queue/utilization gauges per bank. Filled by memsim::Simulator at its
+// service points; everything is plain integer state, so two runs of the
+// same configuration produce bit-identical metrics no matter how the
+// surrounding sweep is threaded.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace rd::stats {
+
+/// Service classes whose end-to-end latency is tracked separately.
+enum class ReqClass : unsigned {
+  kRRead = 0,        ///< fast current-sense demand read
+  kMRead,            ///< drift-resilient voltage-sense demand read
+  kRMRead,           ///< R-sense failed, M retry
+  kDemandWrite,      ///< program-order demand write
+  kConversionWrite,  ///< redundant write-back of a converted R-M-read
+  kScrubRewrite,     ///< rewrite issued by the scrub engine
+};
+inline constexpr std::size_t kNumReqClasses = 6;
+
+inline const char* req_class_name(ReqClass c) {
+  switch (c) {
+    case ReqClass::kRRead: return "r_read";
+    case ReqClass::kMRead: return "m_read";
+    case ReqClass::kRMRead: return "rm_read";
+    case ReqClass::kDemandWrite: return "demand_write";
+    case ReqClass::kConversionWrite: return "conversion_write";
+    case ReqClass::kScrubRewrite: return "scrub_rewrite";
+  }
+  return "unknown";
+}
+
+/// Queue pressure and busy time of one bank, sampled whenever the bank
+/// starts servicing an operation.
+struct BankGauge {
+  std::int64_t busy_ns = 0;          ///< total time in service
+  std::uint64_t depth_samples = 0;   ///< service points sampled
+  std::uint64_t depth_sum = 0;       ///< sum of read_q + write_q depths
+  std::uint64_t depth_max = 0;
+
+  double avg_depth() const {
+    return depth_samples ? static_cast<double>(depth_sum) /
+                               static_cast<double>(depth_samples)
+                         : 0.0;
+  }
+  void merge(const BankGauge& o) {
+    busy_ns += o.busy_ns;
+    depth_samples += o.depth_samples;
+    depth_sum += o.depth_sum;
+    depth_max = std::max(depth_max, o.depth_max);
+  }
+  bool operator==(const BankGauge& o) const {
+    return busy_ns == o.busy_ns && depth_samples == o.depth_samples &&
+           depth_sum == o.depth_sum && depth_max == o.depth_max;
+  }
+};
+
+/// Everything one simulation run measured about itself.
+struct SimMetrics {
+  std::array<LatencyHistogram, kNumReqClasses> latency;
+  std::vector<BankGauge> banks;
+
+  LatencyHistogram& lat(ReqClass c) {
+    return latency[static_cast<std::size_t>(c)];
+  }
+  const LatencyHistogram& lat(ReqClass c) const {
+    return latency[static_cast<std::size_t>(c)];
+  }
+
+  /// All demand-read classes combined (the population behind
+  /// SimResult::avg_read_latency_ns).
+  LatencyHistogram demand_reads() const {
+    LatencyHistogram h = lat(ReqClass::kRRead);
+    h.merge(lat(ReqClass::kMRead));
+    h.merge(lat(ReqClass::kRMRead));
+    return h;
+  }
+
+  /// Combine another run's metrics (e.g. per-shard or per-workload
+  /// aggregation). Bank lists of different lengths align by index.
+  void merge(const SimMetrics& o) {
+    for (std::size_t i = 0; i < kNumReqClasses; ++i) {
+      latency[i].merge(o.latency[i]);
+    }
+    if (banks.size() < o.banks.size()) banks.resize(o.banks.size());
+    for (std::size_t b = 0; b < o.banks.size(); ++b) {
+      banks[b].merge(o.banks[b]);
+    }
+  }
+
+  bool operator==(const SimMetrics& o) const {
+    return latency == o.latency && banks == o.banks;
+  }
+};
+
+}  // namespace rd::stats

@@ -1,0 +1,96 @@
+// Lightweight event-trace ring buffer (flight recorder).
+//
+// READDUO_TRACE=N keeps the last N simulator events (service starts and
+// write cancellations) in a fixed ring; when a reliability event fires
+// (detected_uncorrectable / silent_corruptions), the ring is dumped so the
+// bare counter comes with the operation history that led up to it.
+// Recording is two stores and an increment — cheap enough to leave on for
+// whole sweeps.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+
+namespace rd::stats {
+
+/// One simulator event. `kind` is a single-letter tag:
+///   'R' read service start, 'W' write service start,
+///   'S' scrub sense start,  'C' write cancellation.
+struct TraceEvent {
+  std::int64_t time_ns = 0;
+  char kind = '?';
+  std::uint8_t cls = 0;  ///< ReqClass of the op, where applicable
+  std::uint32_t bank = 0;
+  std::uint64_t line = 0;
+  std::int64_t latency_ns = 0;  ///< planned service latency
+};
+
+/// Fixed-capacity ring of the most recent events.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    buf_.reserve(capacity_);
+  }
+
+  void push(const TraceEvent& e) {
+    if (buf_.size() < capacity_) {
+      buf_.push_back(e);
+    } else {
+      buf_[head_] = e;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::uint64_t total_pushed() const { return total_; }
+
+  /// Dump the retained events oldest-first. The whole dump is rendered
+  /// into one buffer and written in a single call under a global mutex, so
+  /// dumps from concurrent simulations do not interleave line-by-line.
+  void dump(std::ostream& os, const std::string& reason) const {
+    std::string out;
+    out += "=== event trace dump: " + reason + " (" +
+           std::to_string(buf_.size()) + " of " + std::to_string(total_) +
+           " events retained)\n";
+    char linebuf[160];
+    for (std::size_t i = 0; i < buf_.size(); ++i) {
+      const TraceEvent& e = buf_[(head_ + i) % buf_.size()];
+      std::snprintf(linebuf, sizeof linebuf,
+                    "  t=%lldns %c cls=%u bank=%u line=%llu lat=%lldns\n",
+                    static_cast<long long>(e.time_ns), e.kind,
+                    static_cast<unsigned>(e.cls), e.bank,
+                    static_cast<unsigned long long>(e.line),
+                    static_cast<long long>(e.latency_ns));
+      out += linebuf;
+    }
+    out += "=== end event trace dump\n";
+    static std::mutex mu;
+    std::lock_guard<std::mutex> g(mu);
+    os << out;
+    os.flush();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> buf_;
+  std::size_t head_ = 0;        ///< index of the oldest retained event
+  std::uint64_t total_ = 0;
+};
+
+/// Ring capacity requested via READDUO_TRACE (strictly parsed); 0 = off.
+inline std::size_t trace_ring_capacity_from_env() {
+  const char* e = std::getenv("READDUO_TRACE");
+  if (e == nullptr) return 0;
+  return static_cast<std::size_t>(parse_env_u64("READDUO_TRACE", e));
+}
+
+}  // namespace rd::stats

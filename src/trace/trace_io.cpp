@@ -53,6 +53,12 @@ std::vector<MemOp> load_trace(std::istream& in) {
                                               "written");
       op.archive = true;
     }
+    // The grammar ends here: anything after the optional flag is a
+    // malformed line, not ignorable noise.
+    std::string extra;
+    RD_CHECK_MSG(!(ls >> extra),
+                 "trace line " << lineno << ": trailing garbage '" << extra
+                               << "'");
     ops.push_back(op);
   }
   return ops;

@@ -1,0 +1,349 @@
+// Tests for the observability layer: latency histograms, bank gauges, the
+// event-trace ring, strict env parsing, and the versioned bench-cache
+// entry format.
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "common/env.h"
+#include "harness.h"
+#include "stats/metrics.h"
+#include "stats/trace_ring.h"
+
+namespace rd {
+namespace {
+
+using stats::BankGauge;
+using stats::LatencyHistogram;
+using stats::SimMetrics;
+
+// ------------------------------------------------------ bucket layout ---
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_lo(v), v);
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_hi(3), 4u);
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndSelfConsistent) {
+  std::size_t prev = 0;
+  for (std::uint64_t v : std::vector<std::uint64_t>{
+           0, 1, 3, 4, 5, 7, 8, 15, 16, 150, 450, 600, 1023, 1024, 1u << 20,
+           (1ull << 40) + 7, ~0ull}) {
+    const std::size_t i = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(i, prev) << "v=" << v;
+    prev = i;
+    ASSERT_LT(i, LatencyHistogram::kNumBuckets);
+    // v lies inside its own bucket's [lo, hi) range; the last bucket is
+    // closed because its hi saturates at UINT64_MAX.
+    EXPECT_GE(v, LatencyHistogram::bucket_lo(i)) << "v=" << v;
+    if (i + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_LT(v, LatencyHistogram::bucket_hi(i)) << "v=" << v;
+    } else {
+      EXPECT_LE(v, LatencyHistogram::bucket_hi(i)) << "v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, BucketBoundariesTile) {
+  // Every bucket's hi is the next bucket's lo: no gaps, no overlaps.
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_hi(i),
+              LatencyHistogram::bucket_lo(i + 1))
+        << "bucket " << i;
+  }
+}
+
+TEST(Histogram, LogSpacedResolutionBound) {
+  // Relative bucket width (hi-lo)/lo is at most 25% from 4 ns up.
+  for (std::size_t i = LatencyHistogram::bucket_index(4);
+       i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const double lo = static_cast<double>(LatencyHistogram::bucket_lo(i));
+    const double hi = static_cast<double>(LatencyHistogram::bucket_hi(i));
+    EXPECT_LE((hi - lo) / lo, 0.25 + 1e-12) << "bucket " << i;
+  }
+}
+
+// ------------------------------------------------- recording and stats ---
+
+TEST(Histogram, CountSumMaxMean) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 600);
+  EXPECT_EQ(h.max(), 300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, PercentilesAreOrderedAndBracketedByData) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+  const double p50 = h.p50();
+  const double p95 = h.p95();
+  const double p99 = h.p99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max()));
+  // Within one bucket's resolution (<= 25%) of the exact quantiles.
+  EXPECT_NEAR(p50, 500.0, 0.25 * 500.0);
+  EXPECT_NEAR(p95, 950.0, 0.25 * 950.0);
+  EXPECT_NEAR(p99, 990.0, 0.25 * 990.0);
+}
+
+TEST(Histogram, SingleValuePercentilesCollapse) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(155);
+  // All mass in one bucket whose top is clamped to the exact max.
+  EXPECT_LE(h.p50(), 155.0);
+  EXPECT_GE(h.p50(), static_cast<double>(LatencyHistogram::bucket_lo(
+                         LatencyHistogram::bucket_index(155))));
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 155.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  // Two values in well-separated buckets: the median walks from the low
+  // bucket to the high one as p crosses the mass boundary.
+  LatencyHistogram h;
+  h.record(100);
+  h.record(10000);
+  EXPECT_LT(h.percentile(0.25), 150.0);
+  EXPECT_GT(h.percentile(0.95), 5000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10000.0);
+}
+
+// ---------------------------------------------------------------- merge ---
+
+TEST(Histogram, MergeOfShardsEqualsSingleHistogram) {
+  std::mt19937_64 rng(7);
+  LatencyHistogram whole;
+  std::vector<LatencyHistogram> shards(4);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v =
+        static_cast<std::int64_t>(rng() % 1'000'000);
+    whole.record(v);
+    shards[static_cast<std::size_t>(i) % 4].record(v);
+  }
+  LatencyHistogram merged;
+  for (const auto& s : shards) merged.merge(s);
+  EXPECT_TRUE(merged == whole);
+  EXPECT_DOUBLE_EQ(merged.p99(), whole.p99());
+}
+
+TEST(Histogram, MergeOrderIrrelevant) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10 * i);
+  for (int i = 0; i < 50; ++i) b.record(100'000 + i);
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+}
+
+TEST(Histogram, RestoreRoundTrips) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(i * 37);
+  LatencyHistogram r;
+  r.restore(h.buckets(), h.sum(), h.max());
+  EXPECT_TRUE(r == h);
+  EXPECT_EQ(r.count(), h.count());
+}
+
+// --------------------------------------------------------------- gauges ---
+
+TEST(BankGaugeTest, MergeAccumulates) {
+  BankGauge a{100, 2, 6, 4};
+  BankGauge b{50, 1, 10, 10};
+  a.merge(b);
+  EXPECT_EQ(a.busy_ns, 150);
+  EXPECT_EQ(a.depth_samples, 3u);
+  EXPECT_EQ(a.depth_sum, 16u);
+  EXPECT_EQ(a.depth_max, 10u);
+  EXPECT_DOUBLE_EQ(a.avg_depth(), 16.0 / 3.0);
+}
+
+TEST(SimMetricsTest, MergeAlignsBanksByIndex) {
+  SimMetrics a, b;
+  a.banks.resize(2);
+  b.banks.resize(4);
+  b.banks[3].busy_ns = 7;
+  b.lat(stats::ReqClass::kRRead).record(100);
+  a.merge(b);
+  ASSERT_EQ(a.banks.size(), 4u);
+  EXPECT_EQ(a.banks[3].busy_ns, 7);
+  EXPECT_EQ(a.lat(stats::ReqClass::kRRead).count(), 1u);
+  EXPECT_EQ(a.demand_reads().count(), 1u);
+}
+
+// ----------------------------------------------------------- event ring ---
+
+TEST(EventRing, KeepsLastNOldestFirst) {
+  stats::EventRing ring(3);
+  for (int i = 0; i < 5; ++i) {
+    ring.push(stats::TraceEvent{i, 'R', 0, 0, static_cast<std::uint64_t>(i),
+                                100});
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_pushed(), 5u);
+  std::ostringstream os;
+  ring.dump(os, "test");
+  const std::string s = os.str();
+  // Events 2, 3, 4 retained; 0 and 1 overwritten.
+  EXPECT_EQ(s.find("t=0ns"), std::string::npos);
+  EXPECT_EQ(s.find("t=1ns"), std::string::npos);
+  EXPECT_NE(s.find("t=2ns"), std::string::npos);
+  EXPECT_NE(s.find("t=4ns"), std::string::npos);
+  EXPECT_LT(s.find("t=2ns"), s.find("t=3ns"));
+  EXPECT_LT(s.find("t=3ns"), s.find("t=4ns"));
+  EXPECT_NE(s.find("3 of 5 events retained"), std::string::npos);
+  EXPECT_NE(s.find("test"), std::string::npos);
+}
+
+// ------------------------------------------------------------ env parse ---
+
+TEST(EnvParse, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_env_u64("X", "0"), 0u);
+  EXPECT_EQ(parse_env_u64("X", "6000000"), 6'000'000u);
+}
+
+TEST(EnvParse, RejectsEverythingElse) {
+  EXPECT_THROW(parse_env_u64("X", ""), CheckFailure);
+  EXPECT_THROW(parse_env_u64("X", "abc"), CheckFailure);
+  EXPECT_THROW(parse_env_u64("X", "6e6"), CheckFailure);
+  EXPECT_THROW(parse_env_u64("X", "-1"), CheckFailure);
+  EXPECT_THROW(parse_env_u64("X", "+1"), CheckFailure);
+  EXPECT_THROW(parse_env_u64("X", " 5"), CheckFailure);
+  EXPECT_THROW(parse_env_u64("X", "5 "), CheckFailure);
+  EXPECT_THROW(parse_env_u64("X", "0x10"), CheckFailure);
+  // Out of range for 64 bits.
+  EXPECT_THROW(parse_env_u64("X", "99999999999999999999999"), CheckFailure);
+}
+
+// ---------------------------------------------------- cache entry schema ---
+
+bench::RunResult sample_result() {
+  bench::RunResult r;
+  r.summary.scheme = "LWT-4";
+  r.summary.exec_time = Ns{123456789};
+  r.summary.dynamic_energy_pj = 1.25e9;
+  r.summary.static_watts = 0.7301;
+  r.summary.cells_per_line = 301.5;
+  r.summary.cell_writes = 42000.0;
+  r.counters.r_reads = 1000;
+  r.counters.m_reads = 200;
+  r.counters.rm_reads = 30;
+  r.counters.detected_uncorrectable = 2;
+  r.counters.read_energy_pj = 0.125;
+  r.sim.exec_time = Ns{123456789};
+  r.sim.reads_serviced = 1230;
+  r.sim.read_latency_sum_ns = 555555;
+  r.sim.scrub_rewrites_dropped = 3;
+  r.sim.row_hits = 17;
+  r.sim.metrics.banks.resize(16);
+  r.sim.metrics.banks[0].busy_ns = 999;
+  r.sim.metrics.banks[15].depth_max = 12;
+  r.sim.metrics.banks[15].depth_samples = 5;
+  r.sim.metrics.banks[15].depth_sum = 20;
+  for (int i = 0; i < 1230; ++i) {
+    r.sim.metrics.lat(stats::ReqClass::kRRead).record(150 + i % 700);
+  }
+  r.sim.metrics.lat(stats::ReqClass::kScrubRewrite).record(9001);
+  return r;
+}
+
+TEST(CacheEntry, RoundTripsEveryField) {
+  const bench::RunResult r = sample_result();
+  std::stringstream ss;
+  bench::detail::write_cache_entry(ss, r);
+  bench::RunResult out;
+  ASSERT_TRUE(bench::detail::parse_cache_entry(ss, out));
+  EXPECT_EQ(out.summary.scheme, r.summary.scheme);
+  EXPECT_EQ(out.summary.exec_time.v, r.summary.exec_time.v);
+  EXPECT_DOUBLE_EQ(out.summary.static_watts, r.summary.static_watts);
+  EXPECT_EQ(out.counters.r_reads, r.counters.r_reads);
+  EXPECT_EQ(out.counters.detected_uncorrectable,
+            r.counters.detected_uncorrectable);
+  EXPECT_DOUBLE_EQ(out.counters.read_energy_pj, r.counters.read_energy_pj);
+  EXPECT_EQ(out.sim.reads_serviced, r.sim.reads_serviced);
+  EXPECT_EQ(out.sim.scrub_rewrites_dropped, r.sim.scrub_rewrites_dropped);
+  EXPECT_EQ(out.sim.row_hits, r.sim.row_hits);
+  // The whole metrics block survives bit-identically.
+  EXPECT_TRUE(out.sim.metrics == r.sim.metrics);
+  EXPECT_DOUBLE_EQ(out.sim.metrics.demand_reads().p99(),
+                   r.sim.metrics.demand_reads().p99());
+}
+
+TEST(CacheEntry, RejectsStaleSchemaVersion) {
+  // A v1-era entry (no version tag, fields start with the scheme name):
+  // must be a miss, not a misparse.
+  std::stringstream v1("LWT-4 123 4.5 0.7 301 42 1 2 3 4 5 6 7 8 9 10 11 "
+                       "12 13 0.1 0.2 0.3 14 15 16 17 18 19 20 21\n");
+  bench::RunResult out;
+  EXPECT_FALSE(bench::detail::parse_cache_entry(v1, out));
+
+  // An explicit older/newer version tag is rejected too.
+  std::stringstream ss;
+  bench::detail::write_cache_entry(ss, sample_result());
+  std::string body = ss.str();
+  body.replace(0, 2, "v1");
+  std::stringstream stale(body);
+  EXPECT_FALSE(bench::detail::parse_cache_entry(stale, out));
+  body.replace(0, 2, "v9");
+  std::stringstream future(body);
+  EXPECT_FALSE(bench::detail::parse_cache_entry(future, out));
+}
+
+TEST(CacheEntry, RejectsTrailingTokens) {
+  std::stringstream ss;
+  bench::detail::write_cache_entry(ss, sample_result());
+  std::stringstream extra(ss.str() + " 777\n");
+  bench::RunResult out;
+  EXPECT_FALSE(bench::detail::parse_cache_entry(extra, out));
+}
+
+TEST(CacheEntry, RejectsTruncatedEntry) {
+  std::stringstream ss;
+  bench::detail::write_cache_entry(ss, sample_result());
+  const std::string body = ss.str();
+  std::stringstream cut(body.substr(0, body.size() / 2));
+  bench::RunResult out;
+  EXPECT_FALSE(bench::detail::parse_cache_entry(cut, out));
+}
+
+TEST(CacheEntry, RejectsCorruptMetricsBlock) {
+  std::stringstream ss;
+  bench::detail::write_cache_entry(ss, sample_result());
+  std::string body = ss.str();
+  // Claim a different bucket count than the binary was built with.
+  const std::string tag = "M 6 " +
+                          std::to_string(stats::LatencyHistogram::kNumBuckets);
+  const std::size_t pos = body.find(tag);
+  ASSERT_NE(pos, std::string::npos);
+  body.replace(pos, tag.size(), "M 6 64");
+  std::stringstream bad(body);
+  bench::RunResult out;
+  EXPECT_FALSE(bench::detail::parse_cache_entry(bad, out));
+}
+
+}  // namespace
+}  // namespace rd

@@ -1,6 +1,7 @@
 // The parallel substrate's contract: every shard runs exactly once,
 // exceptions propagate, READDUO_THREADS=1 is the in-order serial path, and
-// sharded consumers (mc_ler) are bit-identical for every thread count.
+// sharded consumers (mc_ler, run_schemes metrics) are bit-identical for
+// every thread count.
 #include "common/parallel.h"
 
 #include <gtest/gtest.h>
@@ -12,35 +13,45 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+#include "harness.h"
 #include "pcm/mc_ler.h"
 
 namespace rd {
 namespace {
 
-/// Scoped READDUO_THREADS override; restores the previous value on exit.
-class ScopedThreads {
+/// Scoped environment-variable override; restores the old value on exit.
+class ScopedEnv {
  public:
-  explicit ScopedThreads(const char* value) {
-    const char* old = std::getenv("READDUO_THREADS");
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
     had_old_ = old != nullptr;
     if (had_old_) old_ = old;
     if (value) {
-      ::setenv("READDUO_THREADS", value, 1);
+      ::setenv(name, value, 1);
     } else {
-      ::unsetenv("READDUO_THREADS");
+      ::unsetenv(name);
     }
   }
-  ~ScopedThreads() {
+  ~ScopedEnv() {
     if (had_old_) {
-      ::setenv("READDUO_THREADS", old_.c_str(), 1);
+      ::setenv(name_.c_str(), old_.c_str(), 1);
     } else {
-      ::unsetenv("READDUO_THREADS");
+      ::unsetenv(name_.c_str());
     }
   }
 
  private:
+  std::string name_;
   bool had_old_ = false;
   std::string old_;
+};
+
+/// Scoped READDUO_THREADS override; restores the previous value on exit.
+class ScopedThreads : public ScopedEnv {
+ public:
+  explicit ScopedThreads(const char* value)
+      : ScopedEnv("READDUO_THREADS", value) {}
 };
 
 TEST(ThreadCount, ParsesEnvAndClamps) {
@@ -56,10 +67,49 @@ TEST(ThreadCount, ParsesEnvAndClamps) {
     ScopedThreads t("100000");
     EXPECT_EQ(parallel_thread_count(), 512u);
   }
+}
+
+TEST(ThreadCount, RejectsMalformedEnvLoudly) {
+  // A typo must not silently run at hardware concurrency: the whole point
+  // of the knob is labelling measurements with the real thread count.
   {
-    // Garbage falls back to hardware concurrency (>= 1).
     ScopedThreads t("banana");
-    EXPECT_GE(parallel_thread_count(), 1u);
+    EXPECT_THROW(parallel_thread_count(), CheckFailure);
+  }
+  {
+    ScopedThreads t("0");
+    EXPECT_THROW(parallel_thread_count(), CheckFailure);
+  }
+  {
+    ScopedThreads t("4x");
+    EXPECT_THROW(parallel_thread_count(), CheckFailure);
+  }
+  {
+    ScopedThreads t("");
+    EXPECT_THROW(parallel_thread_count(), CheckFailure);
+  }
+}
+
+TEST(InstructionBudget, RejectsMalformedEnvLoudly) {
+  {
+    ScopedEnv e("READDUO_INSTR", "6e6");
+    EXPECT_THROW(bench::instruction_budget(), CheckFailure);
+  }
+  {
+    ScopedEnv e("READDUO_INSTR", "abc");
+    EXPECT_THROW(bench::instruction_budget(), CheckFailure);
+  }
+  {
+    ScopedEnv e("READDUO_INSTR", "0");
+    EXPECT_THROW(bench::instruction_budget(), CheckFailure);
+  }
+  {
+    ScopedEnv e("READDUO_INSTR", "120000");
+    EXPECT_EQ(bench::instruction_budget(), 120000u);
+  }
+  {
+    ScopedEnv e("READDUO_INSTR", nullptr);
+    EXPECT_EQ(bench::instruction_budget(), 6'000'000u);
   }
 }
 
@@ -165,6 +215,45 @@ TEST(McLerParallel, BitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one.lines, kLines);
   EXPECT_EQ(two.failures, one.failures);
   EXPECT_EQ(eight.failures, one.failures);
+}
+
+// The PR 2 acceptance criterion: the latency histograms and bank gauges a
+// batch produces are bit-identical across thread counts. Each simulation
+// is sequential and owns its metrics, so the only way this fails is
+// cross-run state leaking through the harness.
+TEST(MetricsParallel, HistogramsBitIdenticalAcrossThreadCounts) {
+  ScopedEnv cache("READDUO_CACHE", "0");   // force fresh runs
+  ScopedEnv instr("READDUO_INSTR", "60000");
+
+  auto batch_under = [&](const char* threads) {
+    ScopedThreads t(threads);
+    std::vector<bench::RunSpec> specs;
+    for (const char* wname : {"mcf", "lbm", "astar"}) {
+      const trace::Workload& w = trace::workload_by_name(wname);
+      specs.push_back({readduo::SchemeKind::kHybrid, w});
+      specs.push_back({readduo::SchemeKind::kScrubbing, w});
+    }
+    return bench::run_schemes(specs);
+  };
+
+  const std::vector<bench::RunResult> serial = batch_under("1");
+  const std::vector<bench::RunResult> pooled = batch_under("4");
+  ASSERT_EQ(serial.size(), pooled.size());
+
+  stats::SimMetrics merged_serial, merged_pooled;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i].sim.metrics.demand_reads().count(), 0u)
+        << "run " << i;
+    // Per-run metrics identical, bucket for bucket.
+    EXPECT_TRUE(serial[i].sim.metrics == pooled[i].sim.metrics)
+        << "run " << i;
+    merged_serial.merge(serial[i].sim.metrics);
+    merged_pooled.merge(pooled[i].sim.metrics);
+  }
+  // And so is the batch-level aggregate.
+  EXPECT_TRUE(merged_serial == merged_pooled);
+  EXPECT_DOUBLE_EQ(merged_serial.demand_reads().p99(),
+                   merged_pooled.demand_reads().p99());
 }
 
 }  // namespace

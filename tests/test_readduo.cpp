@@ -51,6 +51,33 @@ TEST(ScrubAgeSampler, MMetricW1AlmostNeverRewrites) {
   EXPECT_GT(mx, 10.0 * 640.0);
 }
 
+TEST(ScrubAgeSampler, Nu0MeanIntervalIsExactlyOneScrubPeriod) {
+  // Analytic pin for the tail-truncation bookkeeping in the constructor:
+  // with nu=0 every line fails its first post-scrub check, so q(1) = 1,
+  // the survival loop stops after one step, and the residual term
+  // (credited at survival.size() * interval) contributes zero mass.
+  // mean_interval_ must equal the scrub interval *exactly* — any
+  // off-by-one in the truncation shows up here as interval*2 or 0.
+  const drift::ErrorModel model(drift::r_metric());
+  for (const double interval : {1.0, 8.0, 640.0}) {
+    ScrubAgeSampler sampler(model, 296, interval, /*nu=*/0);
+    EXPECT_DOUBLE_EQ(sampler.rewrite_probability(), 1.0) << interval;
+    EXPECT_DOUBLE_EQ(sampler.mean_rewrite_interval(), interval) << interval;
+  }
+}
+
+TEST(ScrubAgeSampler, MeanIntervalNeverExceedsModelledHorizon) {
+  // The residual survival mass is credited at the earliest un-modelled
+  // scrub, so the estimate is conservative: it can never exceed the
+  // modelled horizon even for metrics that almost never rewrite.
+  const drift::ErrorModel model(drift::m_metric());
+  ScrubAgeSampler sampler(model, 296, 640.0, /*nu=*/1);
+  EXPECT_GT(sampler.mean_rewrite_interval(), 640.0);
+  // The default max_age caps the modelled hazard at 1e6 seconds; the
+  // residual is credited one interval past the last modelled scrub.
+  EXPECT_LE(sampler.mean_rewrite_interval(), 1.0e6 + 640.0);
+}
+
 TEST(ScrubAgeSampler, StrongerThresholdRewritesLess) {
   const drift::ErrorModel model(drift::r_metric());
   ScrubAgeSampler nu1(model, 296, 8.0, 1);

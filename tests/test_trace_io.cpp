@@ -66,6 +66,30 @@ TEST(TraceIo, RejectsMalformedInput) {
   }
 }
 
+TEST(TraceIo, RejectsTrailingGarbageAfterArchiveFlag) {
+  // Everything after the optional A flag is part of no grammar rule and
+  // must fail loudly, not load as a shorter line.
+  {
+    std::istringstream in("5 R 7 A junk\n");
+    EXPECT_THROW(load_trace(in), CheckFailure);
+  }
+  {
+    std::istringstream in("5 R 7 A A\n");
+    EXPECT_THROW(load_trace(in), CheckFailure);
+  }
+  {
+    std::istringstream in("5 R 7 A 12\n");
+    EXPECT_THROW(load_trace(in), CheckFailure);
+  }
+  // The comment form of trailing text is still fine.
+  {
+    std::istringstream in("5 R 7 A # trailing comment\n");
+    const auto ops = load_trace(in);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_TRUE(ops[0].archive);
+  }
+}
+
 TEST(TraceReplayer, WrapsAround) {
   std::vector<MemOp> ops(3);
   ops[0].line = 10;

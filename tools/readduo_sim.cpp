@@ -62,7 +62,11 @@ void usage(const char* argv0) {
       "                         read_stall_fraction; [memory] capacity_gb,\n"
       "                         banks; [energy] r_read_pj, m_read_pj,\n"
       "                         cell_write_pj\n"
-      "  --list                 list workloads and exit\n",
+      "  --list                 list workloads and exit\n"
+      "\n"
+      "environment:\n"
+      "  READDUO_TRACE=<n>      keep the last n simulator events and dump\n"
+      "                         them to stderr on a reliability event\n",
       argv0);
 }
 
@@ -135,6 +139,7 @@ int main(int argc, char** argv) {
     cfg.instructions_per_core = instructions;
     cfg.seed = seed;
     cfg.row_buffer.enabled = row_buffer;
+    cfg.trace_events = stats::trace_ring_capacity_from_env();
     readduo::SchemeEnv env = memsim::make_scheme_env(w, cfg.cpu, seed);
 
     if (!config_path.empty()) {
@@ -164,6 +169,7 @@ int main(int argc, char** argv) {
     memsim::Simulator sim(cfg, *scheme, w);
     const memsim::SimResult r = sim.run();
     const auto& c = scheme->counters();
+    const stats::LatencyHistogram reads = r.metrics.demand_reads();
 
     if (json) {
       stats::JsonWriter jw;
@@ -174,6 +180,14 @@ int main(int argc, char** argv) {
           .add("ipc", r.ipc(cfg.cpu))
           .add("reads", r.reads_serviced)
           .add("avg_read_latency_ns", r.avg_read_latency_ns())
+          .add("read_p50_ns", reads.p50())
+          .add("read_p95_ns", reads.p95())
+          .add("read_p99_ns", reads.p99())
+          .add("read_max_ns", reads.max())
+          .add("demand_write_p99_ns",
+               r.metrics.lat(stats::ReqClass::kDemandWrite).p99())
+          .add("scrub_rewrite_p99_ns",
+               r.metrics.lat(stats::ReqClass::kScrubRewrite).p99())
           .add("r_reads", c.r_reads)
           .add("m_reads", c.m_reads)
           .add("rm_reads", c.rm_reads)
@@ -214,6 +228,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(c.m_reads),
                 static_cast<unsigned long long>(c.rm_reads),
                 static_cast<unsigned long long>(r.row_hits));
+    std::printf("read tail   : p50 %.0f / p95 %.0f / p99 %.0f / max %lld "
+                "ns\n",
+                reads.p50(), reads.p95(), reads.p99(),
+                static_cast<long long>(reads.max()));
     std::printf("writes      : %llu full + %llu diff demand, %llu scrub "
                 "rewrites, %llu conversions, %llu cancellations\n",
                 static_cast<unsigned long long>(c.demand_full_writes),
