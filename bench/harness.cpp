@@ -25,7 +25,7 @@
 namespace rd::bench {
 
 std::uint64_t instruction_budget() {
-  if (const char* e = std::getenv("READDUO_INSTR")) {
+  if (const char* e = env_cstr("READDUO_INSTR")) {
     const std::uint64_t v = parse_env_u64("READDUO_INSTR", e);
     RD_CHECK_MSG(v > 0, "READDUO_INSTR must be a positive instruction "
                         "count, got '" << e << "'");
@@ -37,14 +37,14 @@ std::uint64_t instruction_budget() {
 namespace {
 
 bool cache_enabled() {
-  const char* e = std::getenv("READDUO_CACHE");
+  const char* e = env_cstr("READDUO_CACHE");
   return e == nullptr || std::string(e) != "0";
 }
 
 /// READDUO_METRICS destination: nullptr = disabled, "1" = stdout,
 /// anything else = file (or directory) path.
 const char* metrics_dest() {
-  const char* e = std::getenv("READDUO_METRICS");
+  const char* e = env_cstr("READDUO_METRICS");
   if (e == nullptr || *e == '\0' || std::string_view(e) == "0") {
     return nullptr;
   }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Single-command static-analysis gate: readduo_lint (+ its fixture
+# self-test), clang-tidy when the host has it, and one sanitizer bench
+# smoke. CI and the verify skill both run exactly this.
+#
+# Usage: ./run_static_analysis.sh [build-dir]          (default: build)
+#   SKIP_SANITIZER_SMOKE=1   skip the UBSan bench smoke (e.g. when the
+#                            caller already ran a full sanitized suite)
+set -u
+cd "$(dirname "$0")"
+BUILD=${1:-build}
+failures=0
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "readduo_lint: repo-wide invariant scan"
+if [ ! -x "$BUILD/tools/readduo_lint" ]; then
+  cmake -B "$BUILD" -S . && cmake --build "$BUILD" --target readduo_lint -j || exit 1
+fi
+"$BUILD/tools/readduo_lint" . || failures=$((failures + 1))
+
+step "readduo_lint: fixture self-test"
+"$BUILD/tools/readduo_lint" --selftest tests/lint_fixtures \
+  || failures=$((failures + 1))
+
+step "clang-tidy (bugprone-*, performance-*; warnings-as-errors)"
+TIDY=$(command -v clang-tidy || true)
+if [ -n "$TIDY" ]; then
+  # compile_commands.json comes from the main build configure.
+  cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  # Library + harness sources only; tests inherit their quality from these.
+  if ! find src bench/harness.cpp tools -name '*.cpp' -print0 \
+      | xargs -0 -n 8 "$TIDY" -p "$BUILD" --quiet; then
+    failures=$((failures + 1))
+  fi
+else
+  echo "clang-tidy not installed — skipping (lint + sanitizers still ran)"
+fi
+
+if [ "${SKIP_SANITIZER_SMOKE:-0}" != "1" ]; then
+  step "sanitizer smoke: UBSan bench_fig9 at a small instruction budget"
+  cmake -B build-ubsan -S . -DREADDUO_SANITIZE=undefined > /dev/null \
+    && cmake --build build-ubsan --target bench_fig9 -j \
+    && READDUO_INSTR=50000 READDUO_CACHE=0 ./build-ubsan/bench/bench_fig9 \
+       > /dev/null \
+    || failures=$((failures + 1))
+fi
+
+step "static analysis: $failures failing stage(s)"
+exit "$((failures > 0))"

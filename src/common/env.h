@@ -14,6 +14,11 @@
 
 namespace rd {
 
+/// The single audited gateway to the process environment. Every READDUO_*
+/// read goes through here (readduo_lint bans raw getenv elsewhere), so the
+/// full set of knobs a build responds to is grep-able from one choke point.
+inline const char* env_cstr(const char* name) { return std::getenv(name); }
+
 /// Parse `value` (the content of env var `name`) as a base-10 unsigned
 /// integer. The whole string must be digits — no sign, whitespace,
 /// exponent, or trailing garbage. Throws CheckFailure otherwise.

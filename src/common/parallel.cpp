@@ -28,7 +28,7 @@ struct RegionGuard {
 }  // namespace
 
 unsigned parallel_thread_count() {
-  if (const char* e = std::getenv("READDUO_THREADS")) {
+  if (const char* e = env_cstr("READDUO_THREADS")) {
     // Strict parse: a typo like READDUO_THREADS=banana must not silently
     // run at hardware concurrency and mislabel the measurement.
     const std::uint64_t v = parse_env_u64("READDUO_THREADS", e);

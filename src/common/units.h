@@ -5,8 +5,11 @@
 // drift layer, which is pure math.
 #pragma once
 
-#include <cstdint>
+#include <cmath>
 #include <compare>
+#include <cstdint>
+
+#include "common/check.h"
 
 namespace rd {
 
@@ -29,8 +32,18 @@ struct Ns {
   constexpr double seconds() const { return static_cast<double>(v) * 1e-9; }
 };
 
-constexpr Ns from_seconds(double s) {
-  return Ns{static_cast<std::int64_t>(s * 1e9)};
+/// Convert seconds to the integral-nanosecond clock, rounding to nearest
+/// (a plain cast truncates toward zero, so e.g. 0.1 s — not exactly
+/// representable in binary — would silently lose a nanosecond). Values
+/// whose nanosecond count cannot fit in int64 are a programming error.
+inline Ns from_seconds(double s) {
+  const double ns = s * 1e9;
+  // 2^63 = 9223372036854775808; the largest int64-representable double
+  // below it is 2^63 - 1024.
+  RD_CHECK_MSG(std::isfinite(ns) && ns >= -9223372036854774784.0 &&
+                   ns <= 9223372036854774784.0,
+               "from_seconds(" << s << "): overflows the int64 ns clock");
+  return Ns{std::llround(ns)};
 }
 
 /// Dynamic energy in picojoules.

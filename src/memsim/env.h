@@ -17,6 +17,7 @@ inline readduo::SchemeEnv make_scheme_env(const trace::Workload& w,
   readduo::SchemeEnv env;
   env.footprint_lines = w.footprint_lines;
   env.zipf_s = w.zipf_s;
+  // lint: allow(unit-conv) GHz -> cycles/second, not a ns<->s conversion
   env.per_core_write_rate = cpu.clock_ghz * 1e9 * w.wpki / 1000.0;
   env.archive_age_scale_s = w.archive_age_scale;
   env.seed = seed;

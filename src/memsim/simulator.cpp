@@ -48,7 +48,7 @@ Simulator::Simulator(const SimConfig& cfg, readduo::Scheme& scheme,
   if (s > 0.0) {
     const double rows = static_cast<double>(cfg.org.lines_per_bank()) /
                         static_cast<double>(cfg.org.lines_per_scrub);
-    const double period_ns = s * 1e9 / rows;
+    const double period_ns = static_cast<double>(from_seconds(s).v) / rows;
     scrub_period_ = Ns{std::max<std::int64_t>(
         1, static_cast<std::int64_t>(period_ns + 0.5))};
   }
@@ -386,7 +386,7 @@ void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
       ++result_.reads_serviced;
       result_.read_latency_sum_ns += (complete - req.enqueue_time).v;
       result_.metrics.lat(class_of(req.mode))
-          .record((complete - req.enqueue_time).v);
+          .record(complete - req.enqueue_time);
       if (req.blocking) {
         Core& core = cores_[req.core];
         RD_CHECK(core.blocked_on_read);
@@ -402,7 +402,7 @@ void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
       // End-to-end latency: queueing (including cancellation restarts,
       // since enqueue_time survives re-queueing) plus service.
       result_.metrics.lat(write_class(done_write.kind))
-          .record((now - done_write.enqueue_time).v);
+          .record(now - done_write.enqueue_time);
       break;
     case BankOp::kScrubSense:
       ++result_.scrubs_serviced;

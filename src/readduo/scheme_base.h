@@ -3,9 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "common/rng.h"
 #include "drift/error_model.h"
@@ -134,7 +134,10 @@ class SchemeBase : public Scheme {
   std::string name_;
   SchemeEnv env_;
   Rng rng_;
-  std::unordered_map<std::uint64_t, LineState> lines_;
+  /// Ordered by line address: lookups are keyed, but an ordered map keeps
+  /// any future iteration (dumps, scrubs walking the population)
+  /// deterministic by construction.
+  std::map<std::uint64_t, LineState> lines_;
 };
 
 }  // namespace rd::readduo

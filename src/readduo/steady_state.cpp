@@ -48,6 +48,7 @@ ScrubAgeSampler::ScrubAgeSampler(const drift::ErrorModel& model,
     renewal_mass += p_interval;
     mean += p_interval * static_cast<double>(j) * interval;
     survival.push_back(survival.back() * (1.0 - q));
+    // lint: allow(unit-conv) survival-mass convergence epsilon, not a time conversion
     if (survival.back() < 1e-9) break;
   }
   // Tail truncation. After the loop, survival.size() == last_j + 1 where

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <limits>
 
+#include "common/units.h"
+
 namespace rd::stats {
 
 /// Histogram over non-negative nanosecond values. Values 0..3 get exact
@@ -46,9 +48,11 @@ class LatencyHistogram {
                                : std::numeric_limits<std::uint64_t>::max();
   }
 
-  /// Record one sample; negative values clamp to 0.
-  void record(std::int64_t ns) {
-    const std::uint64_t v = ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+  /// Record one sample; negative values clamp to 0. Taking rd::Ns (not a
+  /// raw integer) keeps callers from passing a value in the wrong unit.
+  void record(Ns ns) {
+    const std::uint64_t v =
+        ns.v < 0 ? 0 : static_cast<std::uint64_t>(ns.v);
     ++buckets_[bucket_index(v)];
     ++count_;
     sum_ += static_cast<std::int64_t>(v);

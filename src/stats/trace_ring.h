@@ -88,7 +88,7 @@ class EventRing {
 
 /// Ring capacity requested via READDUO_TRACE (strictly parsed); 0 = off.
 inline std::size_t trace_ring_capacity_from_env() {
-  const char* e = std::getenv("READDUO_TRACE");
+  const char* e = env_cstr("READDUO_TRACE");
   if (e == nullptr) return 0;
   return static_cast<std::size_t>(parse_env_u64("READDUO_TRACE", e));
 }

@@ -2,8 +2,8 @@
 
 #include <istream>
 #include <ostream>
+#include <set>
 #include <sstream>
-#include <unordered_set>
 
 #include "common/check.h"
 
@@ -79,7 +79,7 @@ MemOp TraceReplayer::next() {
 
 TraceStats characterize(const std::vector<MemOp>& ops) {
   TraceStats st;
-  std::unordered_set<std::uint64_t> lines;
+  std::set<std::uint64_t> lines;
   for (const MemOp& op : ops) {
     ++st.ops;
     st.instructions += op.gap_instructions + 1;

@@ -1,0 +1,9 @@
+// Seeded violations: malformed suppressions are themselves findings, and
+// a rejected suppression does not silence the underlying rule.
+#include <cstdlib>
+
+// expect-next: lint-allow no-rand
+int a() { return std::rand(); }  // lint: allow(no-rand)
+
+// expect-next: lint-allow
+int b() { return 1; }  // lint: allow(not-a-rule) plausible-looking reason

@@ -1,0 +1,13 @@
+// Seeded violations: wall-clock reads in simulated-time code.
+#include <chrono>
+#include <ctime>
+
+long now_ms() {
+  auto t = std::chrono::steady_clock::now();          // expect: no-wallclock
+  auto u = std::chrono::system_clock::now();          // expect: no-wallclock
+  auto v = std::chrono::high_resolution_clock::now(); // expect: no-wallclock
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);                // expect: no-wallclock
+  (void)t; (void)u; (void)v;
+  return ts.tv_nsec;
+}

@@ -1,0 +1,3 @@
+// Seeded violation: an undocumented READDUO_* knob literal.
+const char* kKnob = "READDUO_BOGUS_KNOB";  // expect: env-registry
+const char* kOk = "READDUO_THREADS";  // registered: no finding

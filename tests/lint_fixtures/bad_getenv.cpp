@@ -1,0 +1,6 @@
+// Seeded violation: raw environment read bypassing the audited gateway.
+#include <cstdlib>
+
+const char* knob() {
+  return std::getenv("READDUO_THREADS");  // expect: no-getenv
+}

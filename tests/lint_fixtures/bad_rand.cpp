@@ -1,0 +1,11 @@
+// Seeded violations: nondeterministic random sources. Never compiled —
+// scanned by `readduo_lint --selftest` only.
+#include <cstdlib>
+#include <random>
+
+int noise() {
+  std::srand(42);                    // expect: no-rand
+  int a = std::rand() % 7;           // expect: no-rand
+  std::random_device rd;             // expect: no-rand
+  return a + static_cast<int>(rd());
+}

@@ -1,0 +1,15 @@
+// Seeded violations: raw-unit function parameters instead of rd::Ns.
+#include <cstdint>
+
+void record_latency(std::int64_t latency_ns);  // expect: sig-ns
+void wait_for(std::uint64_t ns);               // expect: sig-ns
+void advance(double seconds);                  // expect: sig-seconds
+void scrub_every(double interval_s, int nu);   // expect: sig-seconds
+// Members with initializers are state, not an API boundary: no finding.
+struct Acc {
+  std::int64_t busy_ns = 0;
+  double window_s = 1.0;
+};
+// Unrelated identifiers must not fire.
+void resize(std::int64_t columns);
+void weight(double mass);

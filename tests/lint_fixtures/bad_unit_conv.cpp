@@ -1,0 +1,8 @@
+// Seeded violations: raw ns<->s conversion factors outside units.h.
+long long to_ns(double s) { return static_cast<long long>(s * 1e9); }  // expect: unit-conv
+double to_s(long long ns) { return static_cast<double>(ns) * 1e-9; }   // expect: unit-conv
+double to_s2(long long ns) { return static_cast<double>(ns) * 1.0e-9; }  // expect: unit-conv
+// Not conversions: different exponents and mantissas must not fire.
+double big = 1e10;
+double frac = 1.5e9;
+double micro = 1e-6;

@@ -1,0 +1,12 @@
+// Seeded violations: unordered containers in result-producing code.
+#include <unordered_map>  // expect: no-unordered
+#include <unordered_set>  // expect: no-unordered
+#include <cstdint>
+
+std::size_t distinct(const std::uint64_t* xs, std::size_t n) {
+  std::unordered_set<std::uint64_t> seen;  // expect: no-unordered
+  for (std::size_t i = 0; i < n; ++i) seen.insert(xs[i]);
+  std::unordered_map<std::uint64_t, int> counts;  // expect: no-unordered
+  (void)counts;
+  return seen.size();
+}

@@ -78,9 +78,9 @@ TEST(Histogram, CountSumMaxMean) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0);
   EXPECT_EQ(h.percentile(0.5), 0.0);
-  h.record(100);
-  h.record(200);
-  h.record(300);
+  h.record(Ns{100});
+  h.record(Ns{200});
+  h.record(Ns{300});
   EXPECT_EQ(h.count(), 3u);
   EXPECT_EQ(h.sum(), 600);
   EXPECT_EQ(h.max(), 300);
@@ -89,7 +89,7 @@ TEST(Histogram, CountSumMaxMean) {
 
 TEST(Histogram, NegativeValuesClampToZero) {
   LatencyHistogram h;
-  h.record(-5);
+  h.record(Ns{-5});
   EXPECT_EQ(h.count(), 1u);
   EXPECT_EQ(h.sum(), 0);
   EXPECT_EQ(h.max(), 0);
@@ -97,7 +97,7 @@ TEST(Histogram, NegativeValuesClampToZero) {
 
 TEST(Histogram, PercentilesAreOrderedAndBracketedByData) {
   LatencyHistogram h;
-  for (int i = 1; i <= 1000; ++i) h.record(i);
+  for (int i = 1; i <= 1000; ++i) h.record(Ns{i});
   const double p50 = h.p50();
   const double p95 = h.p95();
   const double p99 = h.p99();
@@ -112,7 +112,7 @@ TEST(Histogram, PercentilesAreOrderedAndBracketedByData) {
 
 TEST(Histogram, SingleValuePercentilesCollapse) {
   LatencyHistogram h;
-  for (int i = 0; i < 10; ++i) h.record(155);
+  for (int i = 0; i < 10; ++i) h.record(Ns{155});
   // All mass in one bucket whose top is clamped to the exact max.
   EXPECT_LE(h.p50(), 155.0);
   EXPECT_GE(h.p50(), static_cast<double>(LatencyHistogram::bucket_lo(
@@ -124,8 +124,8 @@ TEST(Histogram, PercentileInterpolatesWithinBucket) {
   // Two values in well-separated buckets: the median walks from the low
   // bucket to the high one as p crosses the mass boundary.
   LatencyHistogram h;
-  h.record(100);
-  h.record(10000);
+  h.record(Ns{100});
+  h.record(Ns{10000});
   EXPECT_LT(h.percentile(0.25), 150.0);
   EXPECT_GT(h.percentile(0.95), 5000.0);
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 10000.0);
@@ -140,8 +140,8 @@ TEST(Histogram, MergeOfShardsEqualsSingleHistogram) {
   for (int i = 0; i < 10000; ++i) {
     const std::int64_t v =
         static_cast<std::int64_t>(rng() % 1'000'000);
-    whole.record(v);
-    shards[static_cast<std::size_t>(i) % 4].record(v);
+    whole.record(Ns{v});
+    shards[static_cast<std::size_t>(i) % 4].record(Ns{v});
   }
   LatencyHistogram merged;
   for (const auto& s : shards) merged.merge(s);
@@ -151,8 +151,8 @@ TEST(Histogram, MergeOfShardsEqualsSingleHistogram) {
 
 TEST(Histogram, MergeOrderIrrelevant) {
   LatencyHistogram a, b;
-  for (int i = 0; i < 100; ++i) a.record(10 * i);
-  for (int i = 0; i < 50; ++i) b.record(100'000 + i);
+  for (int i = 0; i < 100; ++i) a.record(Ns{10 * i});
+  for (int i = 0; i < 50; ++i) b.record(Ns{100'000 + i});
   LatencyHistogram ab = a;
   ab.merge(b);
   LatencyHistogram ba = b;
@@ -162,7 +162,7 @@ TEST(Histogram, MergeOrderIrrelevant) {
 
 TEST(Histogram, RestoreRoundTrips) {
   LatencyHistogram h;
-  for (int i = 0; i < 1000; ++i) h.record(i * 37);
+  for (int i = 0; i < 1000; ++i) h.record(Ns{i * 37});
   LatencyHistogram r;
   r.restore(h.buckets(), h.sum(), h.max());
   EXPECT_TRUE(r == h);
@@ -187,7 +187,7 @@ TEST(SimMetricsTest, MergeAlignsBanksByIndex) {
   a.banks.resize(2);
   b.banks.resize(4);
   b.banks[3].busy_ns = 7;
-  b.lat(stats::ReqClass::kRRead).record(100);
+  b.lat(stats::ReqClass::kRRead).record(Ns{100});
   a.merge(b);
   ASSERT_EQ(a.banks.size(), 4u);
   EXPECT_EQ(a.banks[3].busy_ns, 7);
@@ -265,9 +265,9 @@ bench::RunResult sample_result() {
   r.sim.metrics.banks[15].depth_samples = 5;
   r.sim.metrics.banks[15].depth_sum = 20;
   for (int i = 0; i < 1230; ++i) {
-    r.sim.metrics.lat(stats::ReqClass::kRRead).record(150 + i % 700);
+    r.sim.metrics.lat(stats::ReqClass::kRRead).record(Ns{150 + i % 700});
   }
-  r.sim.metrics.lat(stats::ReqClass::kScrubRewrite).record(9001);
+  r.sim.metrics.lat(stats::ReqClass::kScrubRewrite).record(Ns{9001});
   return r;
 }
 

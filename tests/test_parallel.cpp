@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "harness.h"
 #include "pcm/mc_ler.h"
 
@@ -24,7 +25,7 @@ namespace {
 class ScopedEnv {
  public:
   ScopedEnv(const char* name, const char* value) : name_(name) {
-    const char* old = std::getenv(name);
+    const char* old = env_cstr(name);
     had_old_ = old != nullptr;
     if (had_old_) old_ = old;
     if (value) {

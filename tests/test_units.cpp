@@ -1,0 +1,68 @@
+// Unit-type invariants: the integral-nanosecond clock round-trips through
+// seconds, conversion rounds to nearest, and overflow is a loud error.
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace rd {
+namespace {
+
+TEST(Units, FromSecondsRoundsToNearest) {
+  // 0.1 s is not exactly representable; truncation would yield 99999999.
+  EXPECT_EQ(from_seconds(0.1).v, 100000000);
+  EXPECT_EQ(from_seconds(0.3).v, 300000000);
+  EXPECT_EQ(from_seconds(1.0).v, 1000000000);
+  EXPECT_EQ(from_seconds(0.0).v, 0);
+  EXPECT_EQ(from_seconds(-0.1).v, -100000000);
+  // Sub-ns magnitudes round to the nearest tick, not toward zero.
+  EXPECT_EQ(from_seconds(0.6e-9).v, 1);
+  EXPECT_EQ(from_seconds(-0.6e-9).v, -1);
+}
+
+TEST(Units, SecondsRoundTripsThroughNs) {
+  for (const double s : {0.0, 1e-9, 0.05, 8.0, 640.0, 20000.0, 1.0e6}) {
+    const Ns ns = from_seconds(s);
+    EXPECT_NEAR(ns.seconds(), s, 1e-9) << "s=" << s;
+    // ns -> seconds -> ns is exact for every representable tick count.
+    EXPECT_EQ(from_seconds(ns.seconds()).v, ns.v) << "s=" << s;
+  }
+}
+
+TEST(Units, NsToSecondsToNsIsIdentityAtScale) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{999999999},
+        std::int64_t{1} << 40, std::int64_t{1} << 52}) {
+    EXPECT_EQ(from_seconds(Ns{v}.seconds()).v, v) << "v=" << v;
+    EXPECT_EQ(from_seconds(Ns{-v}.seconds()).v, -v) << "v=" << v;
+  }
+}
+
+TEST(Units, FromSecondsOverflowThrows) {
+  // int64 ns covers about +/-292 years; 1e10 s * 1e9 overflows.
+  EXPECT_THROW(from_seconds(1e10), CheckFailure);
+  EXPECT_THROW(from_seconds(-1e10), CheckFailure);
+  EXPECT_THROW(from_seconds(std::numeric_limits<double>::infinity()),
+               CheckFailure);
+  EXPECT_THROW(from_seconds(std::numeric_limits<double>::quiet_NaN()),
+               CheckFailure);
+  // The last representable magnitudes convert cleanly.
+  EXPECT_NO_THROW(from_seconds(9.2e9));
+  EXPECT_NO_THROW(from_seconds(-9.2e9));
+}
+
+TEST(Units, ArithmeticStaysIntegral) {
+  const Ns a{3}, b{5};
+  EXPECT_EQ((a + b).v, 8);
+  EXPECT_EQ((b - a).v, 2);
+  EXPECT_EQ((a * 4).v, 12);
+  EXPECT_EQ((4 * a).v, 12);
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace rd
