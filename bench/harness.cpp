@@ -19,6 +19,7 @@
 
 #include "common/env.h"
 #include "common/parallel.h"
+#include "faults/injector.h"
 #include "memsim/env.h"
 #include "stats/json.h"
 
@@ -38,7 +39,14 @@ namespace {
 
 bool cache_enabled() {
   const char* e = env_cstr("READDUO_CACHE");
-  return e == nullptr || std::string(e) != "0";
+  if (e != nullptr && std::string(e) == "0") return false;
+  // A fault plan that perturbs the simulation poisons memoization both
+  // ways: perturbed results must not be stored as clean, and stale clean
+  // entries must not stand in for perturbed runs. Disable the cache for
+  // the whole process. Harness-only classes (cache/trace) keep it on —
+  // the cache-corruption injector specifically needs a live cache.
+  const faults::FaultEngine* fe = faults::engine();
+  return fe == nullptr || !fe->plan().affects_simulation();
 }
 
 /// READDUO_METRICS destination: nullptr = disabled, "1" = stdout,
@@ -74,12 +82,6 @@ std::string cache_key(readduo::SchemeKind kind, const trace::Workload& w,
 
 std::filesystem::path cache_path(const std::string& key) {
   return std::filesystem::path("bench_cache") / (key + ".txt");
-}
-
-bool load_cached(const std::string& key, RunResult& out) {
-  std::ifstream in(cache_path(key));
-  if (!in) return false;
-  return detail::parse_cache_entry(in, out);
 }
 
 void store_cached(const std::string& key, const RunResult& r) {
@@ -121,6 +123,10 @@ struct Harness {
   std::string bench_name = "bench";
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
+  /// Entries that carried a current schema tag but failed to parse —
+  /// damaged on disk (or by the cache-corruption injector). Each one is
+  /// recomputed, never trusted or fatal.
+  std::atomic<std::uint64_t> cache_corrupt{0};
   std::atomic<std::uint64_t> wall_us{0};      ///< summed across runs
   std::atomic<std::uint64_t> max_run_us{0};
 };
@@ -128,6 +134,33 @@ struct Harness {
 Harness& harness() {
   static Harness h;
   return h;
+}
+
+bool load_cached(const std::string& key, RunResult& out) {
+  std::ifstream in(cache_path(key));
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = buf.str();
+  if (const faults::FaultEngine* fe = faults::engine()) {
+    fe->corrupt_cache_entry(key, bytes);
+  }
+  std::istringstream entry(bytes);
+  if (detail::parse_cache_entry(entry, out)) return true;
+  // A stale or foreign schema tag is an ordinary miss (old entries age
+  // out silently). Damage *behind* a current tag is a corrupt entry:
+  // report it, count it, and fall through to recompute.
+  std::istringstream tagged(bytes);
+  std::string tag;
+  if ((tagged >> tag) &&
+      tag == "v" + std::to_string(detail::kCacheSchemaVersion)) {
+    harness().cache_corrupt.fetch_add(1);
+    std::fprintf(stderr,
+                 "readduo: warning: corrupt bench_cache entry '%s' — "
+                 "recomputing\n",
+                 key.c_str());
+  }
+  return false;
 }
 
 /// Strip the trailing newline JsonWriter::str() emits, so nested raw
@@ -160,54 +193,6 @@ std::string json_array(const std::vector<T>& xs, Fn&& render) {
   return os.str();
 }
 
-std::string run_json(const RunRecord& rec) {
-  const RunResult& r = rec.result;
-  const stats::SimMetrics& m = r.sim.metrics;
-  stats::JsonWriter jw;
-  jw.add("scheme", r.summary.scheme)
-      .add("workload", rec.workload)
-      .add("seed", rec.seed)
-      .add("cached", std::uint64_t{rec.cached ? 1u : 0u})
-      .add("wall_ms", rec.wall_ms)
-      .add("exec_time_ns", static_cast<std::uint64_t>(r.sim.exec_time.v))
-      .add("instructions", r.sim.instructions)
-      .add("reads", r.sim.reads_serviced)
-      .add("writes", r.sim.writes_serviced)
-      .add("avg_read_latency_ns", r.sim.avg_read_latency_ns())
-      .add("detected_uncorrectable", r.counters.detected_uncorrectable)
-      .add("silent_corruptions", r.counters.silent_corruptions);
-  const stats::LatencyHistogram all_reads = m.demand_reads();
-  jw.add("read_p50_ns", all_reads.p50())
-      .add("read_p95_ns", all_reads.p95())
-      .add("read_p99_ns", all_reads.p99())
-      .add("read_max_ns", all_reads.max());
-  stats::JsonWriter classes;
-  for (std::size_t c = 0; c < stats::kNumReqClasses; ++c) {
-    classes.add_raw(stats::req_class_name(static_cast<stats::ReqClass>(c)),
-                    hist_json(m.latency[c]));
-  }
-  jw.add_raw("latency", chomp(classes.str()));
-  const double exec =
-      r.sim.exec_time.v > 0 ? static_cast<double>(r.sim.exec_time.v) : 1.0;
-  jw.add_raw("bank_utilization",
-             json_array(m.banks, [&](const stats::BankGauge& g) {
-               std::ostringstream os;
-               os << static_cast<double>(g.busy_ns) / exec;
-               return os.str();
-             }));
-  jw.add_raw("bank_avg_queue_depth",
-             json_array(m.banks, [](const stats::BankGauge& g) {
-               std::ostringstream os;
-               os << g.avg_depth();
-               return os.str();
-             }));
-  jw.add_raw("bank_max_queue_depth",
-             json_array(m.banks, [](const stats::BankGauge& g) {
-               return std::to_string(g.depth_max);
-             }));
-  return chomp(jw.str());
-}
-
 /// atexit hook: print the harness self-metrics line (always) and write the
 /// JSON metrics export (when READDUO_METRICS is set).
 void emit_metrics() {
@@ -226,27 +211,9 @@ void emit_metrics() {
   const char* dest = metrics_dest();
   if (dest == nullptr) return;
 
-  std::lock_guard<std::mutex> g(h.mu);
-  stats::JsonWriter doc;
-  doc.add("bench", h.bench_name)
-      .add("schema_version",
-           static_cast<std::uint64_t>(detail::kCacheSchemaVersion))
-      .add("threads", std::uint64_t{parallel_thread_count()})
-      .add("cache_hits", hits)
-      .add("cache_misses", misses)
-      .add("sim_wall_ms", static_cast<std::uint64_t>(h.wall_us.load() / 1000))
-      .add("max_run_ms",
-           static_cast<std::uint64_t>(h.max_run_us.load() / 1000));
-  std::string runs = "[\n";
-  for (std::size_t i = 0; i < h.runs.size(); ++i) {
-    runs += run_json(h.runs[i]);
-    if (i + 1 < h.runs.size()) runs += ',';
-    runs += '\n';
-  }
-  runs += "]";
-  doc.add_raw("runs", runs);
-  const std::string body = doc.str();
+  const std::string body = detail::render_metrics_json();
 
+  std::lock_guard<std::mutex> g(h.mu);
   if (std::string_view(dest) == "1") {
     std::fputs(body.c_str(), stdout);
     return;
@@ -395,6 +362,15 @@ bool parse_cache_entry(std::istream& in, RunResult& out) {
       s.bank_busy_ns >> s.scrub_backlog_end >> s.instructions >>
       s.scrub_rewrites_dropped >> s.row_hits;
   if (!in) return false;
+  // Damaged numeric fields can still parse lexically (a garbled exponent
+  // reads as inf, a '?' in the mantissa splits into two tokens that land
+  // in the wrong fields). Reject non-finite floats so a corrupt entry is
+  // recomputed instead of silently trusted.
+  for (double v : {out.summary.dynamic_energy_pj, out.summary.static_watts,
+                   out.summary.cell_writes, c.read_energy_pj,
+                   c.write_energy_pj, c.scrub_energy_pj}) {
+    if (!std::isfinite(v)) return false;
+  }
 
   std::string mtag;
   std::size_t nclasses = 0, nbuckets = 0;
@@ -436,6 +412,97 @@ bool parse_cache_entry(std::istream& in, RunResult& out) {
   out.summary.exec_time = Ns{exec};
   out.sim.exec_time = Ns{exec};
   return true;
+}
+
+std::string render_run_json(const std::string& workload, std::uint64_t seed,
+                            bool cached, double wall_ms, const RunResult& r) {
+  const stats::SimMetrics& m = r.sim.metrics;
+  stats::JsonWriter jw;
+  jw.add("scheme", r.summary.scheme)
+      .add("workload", workload)
+      .add("seed", seed)
+      .add("cached", std::uint64_t{cached ? 1u : 0u})
+      .add("wall_ms", wall_ms)
+      .add("exec_time_ns", static_cast<std::uint64_t>(r.sim.exec_time.v))
+      .add("instructions", r.sim.instructions)
+      .add("reads", r.sim.reads_serviced)
+      .add("writes", r.sim.writes_serviced)
+      .add("avg_read_latency_ns", r.sim.avg_read_latency_ns())
+      .add("detected_uncorrectable", r.counters.detected_uncorrectable)
+      .add("silent_corruptions", r.counters.silent_corruptions)
+      .add("injected_faults", r.counters.injected_faults);
+  const stats::LatencyHistogram all_reads = m.demand_reads();
+  jw.add("read_p50_ns", all_reads.p50())
+      .add("read_p95_ns", all_reads.p95())
+      .add("read_p99_ns", all_reads.p99())
+      .add("read_max_ns", all_reads.max());
+  stats::JsonWriter classes;
+  for (std::size_t c = 0; c < stats::kNumReqClasses; ++c) {
+    classes.add_raw(stats::req_class_name(static_cast<stats::ReqClass>(c)),
+                    hist_json(m.latency[c]));
+  }
+  jw.add_raw("latency", chomp(classes.str()));
+  const double exec =
+      r.sim.exec_time.v > 0 ? static_cast<double>(r.sim.exec_time.v) : 1.0;
+  jw.add_raw("bank_utilization",
+             json_array(m.banks, [&](const stats::BankGauge& g) {
+               std::ostringstream os;
+               os << static_cast<double>(g.busy_ns) / exec;
+               return os.str();
+             }));
+  jw.add_raw("bank_avg_queue_depth",
+             json_array(m.banks, [](const stats::BankGauge& g) {
+               std::ostringstream os;
+               os << g.avg_depth();
+               return os.str();
+             }));
+  jw.add_raw("bank_max_queue_depth",
+             json_array(m.banks, [](const stats::BankGauge& g) {
+               return std::to_string(g.depth_max);
+             }));
+  return chomp(jw.str());
+}
+
+std::string render_metrics_json() {
+  Harness& h = harness();
+  std::lock_guard<std::mutex> g(h.mu);
+  stats::JsonWriter doc;
+  doc.add("bench", h.bench_name)
+      .add("schema_version",
+           static_cast<std::uint64_t>(detail::kCacheSchemaVersion))
+      .add("threads", std::uint64_t{parallel_thread_count()})
+      .add("cache_hits", h.cache_hits.load())
+      .add("cache_misses", h.cache_misses.load())
+      .add("cache_corrupt", h.cache_corrupt.load())
+      .add("sim_wall_ms", static_cast<std::uint64_t>(h.wall_us.load() / 1000))
+      .add("max_run_ms",
+           static_cast<std::uint64_t>(h.max_run_us.load() / 1000));
+  // Fault-injection provenance: a metrics document produced under
+  // READDUO_FAULTS says so, carrying the canonical plan and the per-class
+  // injection counts. Absent entirely when faults are off, so clean
+  // documents are byte-compatible with the pre-fault schema.
+  if (const faults::FaultEngine* fe = faults::engine()) {
+    stats::JsonWriter counts;
+    for (unsigned c = 0; c < faults::kNumFaultClasses; ++c) {
+      counts.add(faults::fault_class_name(static_cast<faults::FaultClass>(c)),
+                 fe->count(static_cast<faults::FaultClass>(c)));
+    }
+    stats::JsonWriter fj;
+    fj.add("plan", fe->plan().canonical());
+    fj.add_raw("injected", chomp(counts.str()));
+    doc.add_raw("faults", chomp(fj.str()));
+  }
+  std::string runs = "[\n";
+  for (std::size_t i = 0; i < h.runs.size(); ++i) {
+    const RunRecord& rec = h.runs[i];
+    runs += render_run_json(rec.workload, rec.seed, rec.cached, rec.wall_ms,
+                            rec.result);
+    if (i + 1 < h.runs.size()) runs += ',';
+    runs += '\n';
+  }
+  runs += "]";
+  doc.add_raw("runs", runs);
+  return doc.str();
 }
 
 }  // namespace detail

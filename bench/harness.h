@@ -4,7 +4,10 @@
 // expensive full-system sweeps (Figures 9, 10, 11, 15 share the same runs)
 // are memoized to an on-disk cache under bench_cache/, keyed by the full
 // run configuration. Set READDUO_CACHE=0 to disable, READDUO_INSTR=<n>
-// to change the per-core instruction budget (default 6,000,000).
+// to change the per-core instruction budget (default 6,000,000). A
+// READDUO_FAULTS plan that perturbs the simulation disables the cache for
+// the whole process: perturbed results are never stored, and stale clean
+// entries are never served in their place.
 //
 // Independent (scheme x workload) simulations are embarrassingly parallel
 // — every Simulator owns its whole state — so sweep binaries batch their
@@ -56,8 +59,22 @@ inline constexpr int kCacheSchemaVersion = 2;
 void write_cache_entry(std::ostream& out, const RunResult& r);
 
 /// Strict inverse of write_cache_entry: false on wrong schema tag, short
-/// read, malformed metrics block, or trailing tokens.
+/// read, malformed or non-finite fields, or trailing tokens. The caller
+/// (load_cached) treats any failure behind a valid schema tag as a
+/// corrupt entry: warn, count it, and recompute — never abort, never
+/// trust partial bytes.
 bool parse_cache_entry(std::istream& in, RunResult& out);
+
+/// Render one run record exactly as it appears in the READDUO_METRICS
+/// "runs" array. Exposed for the golden tests, which render in-process
+/// and compare field-by-field against a committed file.
+std::string render_run_json(const std::string& workload, std::uint64_t seed,
+                            bool cached, double wall_ms, const RunResult& r);
+
+/// Render the full READDUO_METRICS document from the harness state
+/// accumulated so far (runs recorded only while READDUO_METRICS is set).
+/// Exposed for the golden tests.
+std::string render_metrics_json();
 
 }  // namespace detail
 

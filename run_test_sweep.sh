@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Flaky/determinism sweep: the lane CI runs on top of the plain suite.
+#
+#   1. `ctest --repeat until-fail:3` — every test runs three times, so a
+#      test that only fails one run in three is caught here instead of
+#      landing as intermittent CI noise.
+#   2. A READDUO_THREADS ∈ {1, 4} re-run of the suites that pin the
+#      bit-identity contract (test_parallel, test_metrics, test_faults):
+#      the pool-sized path and the legacy serial path must agree on every
+#      assertion, including with a live fault plan (test_faults runs its
+#      FaultDeterminism case under both widths internally, and this lane
+#      additionally re-runs the whole binary under each width).
+#
+# Usage: ./run_test_sweep.sh [build-dir] [ctest -R regex]
+#   (default: build, all tests)
+set -u
+cd "$(dirname "$0")"
+BUILD=${1:-build}
+FILTER=${2:-}
+failures=0
+
+step() { printf '\n== %s\n' "$*"; }
+
+if [ ! -f "$BUILD/CTestTestfile.cmake" ]; then
+  cmake -B "$BUILD" -S . && cmake --build "$BUILD" -j || exit 1
+fi
+
+step "ctest --repeat until-fail:3 (flakiness lane)"
+ctest_args=(--test-dir "$BUILD" --repeat until-fail:3 --output-on-failure
+            -j "$(nproc)")
+if [ -n "$FILTER" ]; then ctest_args+=(-R "$FILTER"); fi
+ctest "${ctest_args[@]}" || failures=$((failures + 1))
+
+step "thread-count bit-identity: READDUO_THREADS=1 vs =4"
+for bin in test_parallel test_metrics test_faults; do
+  if [ ! -x "$BUILD/tests/$bin" ]; then
+    cmake --build "$BUILD" --target "$bin" -j || exit 1
+  fi
+  for t in 1 4; do
+    echo "-- $bin (READDUO_THREADS=$t)"
+    READDUO_THREADS=$t "$BUILD/tests/$bin" --gtest_brief=1 \
+      || failures=$((failures + 1))
+  done
+done
+
+step "test sweep: $failures failing stage(s)"
+exit "$((failures > 0))"

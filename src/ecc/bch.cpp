@@ -94,6 +94,17 @@ bool BchCode::is_codeword(const BitVec& codeword) const {
   return syndromes(codeword, s);
 }
 
+BchDecodeResult BchCode::decode_verified(BitVec& codeword) const {
+  BchDecodeResult result = decode(codeword);
+  if (result.corrected && result.num_corrected > 0 &&
+      !is_codeword(codeword)) {
+    result.corrected = false;
+    result.num_corrected = 0;
+    result.detected_uncorrectable = true;
+  }
+  return result;
+}
+
 BchDecodeResult BchCode::decode(BitVec& codeword) const {
   BchDecodeResult result;
   std::vector<Elem> s;

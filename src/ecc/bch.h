@@ -55,6 +55,13 @@ class BchCode {
   /// codeword argument holds the fixed codeword.
   BchDecodeResult decode(BitVec& codeword) const;
 
+  /// decode() plus a post-fix syndrome recheck: a "corrected" outcome
+  /// whose fixed word is not actually a codeword is downgraded to
+  /// detected_uncorrectable. Belt-and-braces for adversarial patterns at
+  /// the 9..17-error detection boundary (READDUO_FAULTS "bch" class),
+  /// where a decoder bug could otherwise surface as silent corruption.
+  BchDecodeResult decode_verified(BitVec& codeword) const;
+
   /// Syndrome-only check: true iff the word is a codeword (no errors
   /// detected). Cheaper than a full decode.
   bool is_codeword(const BitVec& codeword) const;

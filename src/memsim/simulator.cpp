@@ -41,6 +41,7 @@ Simulator::Simulator(const SimConfig& cfg, readduo::Scheme& scheme,
   }
   reliab_seen_ = scheme.counters().detected_uncorrectable +
                  scheme.counters().silent_corruptions;
+  faults_seen_ = scheme.counters().injected_faults;
 
   // Scrub period per bank: every line of the bank each S seconds, sensed
   // one row (lines_per_scrub lines) per operation.
@@ -245,6 +246,15 @@ void Simulator::trace_event(Ns now, char kind, stats::ReqClass cls,
 
 void Simulator::note_reliability(Ns now) {
   const stats::Counters& c = scheme_.counters();
+  if (c.injected_faults != faults_seen_) {
+    // Record the fault burst in the ring ('F', latency field = how many)
+    // so a later reliability dump shows what was injected leading up to
+    // it; injection alone does not trigger a dump.
+    trace_event(now, 'F', stats::ReqClass::kRRead, /*bank=*/0, /*line=*/0,
+                Ns{static_cast<std::int64_t>(c.injected_faults -
+                                             faults_seen_)});
+    faults_seen_ = c.injected_faults;
+  }
   const std::uint64_t seen =
       c.detected_uncorrectable + c.silent_corruptions;
   if (seen == reliab_seen_) return;

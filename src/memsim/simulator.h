@@ -235,6 +235,10 @@ class Simulator {
   /// detected_uncorrectable + silent_corruptions last observed, to detect
   /// new reliability events after each scheme policy call.
   std::uint64_t reliab_seen_ = 0;
+  /// counters().injected_faults last observed; deltas become 'F' events in
+  /// the flight-recorder ring (logged, never dumped — an injected fault is
+  /// expected noise, not a reliability incident by itself).
+  std::uint64_t faults_seen_ = 0;
 
   // What the bank is currently doing, to route the completion.
   enum class BankOp { kNone, kRead, kWrite, kScrubSense };

@@ -41,8 +41,14 @@ void Cell::set_stuck(std::size_t level) {
 
 std::size_t Cell::read_level(double t_seconds,
                              const drift::MetricConfig& cfg) const {
+  return read_level(t_seconds, cfg, 0.0);
+}
+
+std::size_t Cell::read_level(double t_seconds,
+                             const drift::MetricConfig& cfg,
+                             double metric_offset) const {
   if (stuck_) return stuck_level_;
-  const double x = metric_at(t_seconds, cfg);
+  const double x = metric_at(t_seconds, cfg) + metric_offset;
   // Two-round reference comparison (Ref2 then Ref1/Ref3); equivalent to
   // locating x among the three upper boundaries.
   std::size_t level = drift::kNumStates - 1;

@@ -39,6 +39,12 @@ class Cell {
   std::size_t read_level(double t_seconds,
                          const drift::MetricConfig& cfg) const;
 
+  /// read_level with an additive metric disturbance (log10 units) applied
+  /// before the reference comparison — the seam for injected sensing
+  /// transients (READDUO_FAULTS "sense"). A stuck cell ignores the offset.
+  std::size_t read_level(double t_seconds, const drift::MetricConfig& cfg,
+                         double metric_offset) const;
+
   /// True if reading at time t under cfg would return the wrong level.
   bool drift_error(double t_seconds, const drift::MetricConfig& cfg) const {
     return read_level(t_seconds, cfg) != level_;

@@ -1,6 +1,7 @@
 #include "pcm/chip.h"
 
 #include "common/check.h"
+#include "faults/injector.h"
 
 namespace rd::pcm {
 
@@ -10,6 +11,7 @@ MlcChip::MlcChip(ChipConfig cfg)
       m_cfg_(drift::m_metric()),
       bch_(/*m=*/10, cfg.bch_t, cfg.data_bytes * 8),
       rng_(cfg.seed),
+      faults_(cfg.faults != nullptr ? cfg.faults : faults::engine()),
       next_scrub_s_(cfg.scrub_interval_s) {
   RD_CHECK(cfg.num_lines >= 1);
   RD_CHECK(cfg.data_bytes >= 1);
@@ -18,6 +20,18 @@ MlcChip::MlcChip(ChipConfig cfg)
   lines_.reserve(cfg.num_lines);
   for (std::size_t i = 0; i < cfg.num_lines; ++i) {
     lines_.emplace_back(bits, cells, cfg.ecp_pointers);
+  }
+  // Manufacturing-time / endurance wear faults: pin the planned stuck
+  // cells before any data lands, exactly as inject_stuck_cell would.
+  if (faults_ != nullptr) {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      for (unsigned c = 0; c < cells; ++c) {
+        if (auto level = faults_->stuck_level(i, c)) {
+          lines_[i].cells.cell_at(c).set_stuck(*level);
+          ++stats_.injected_faults;
+        }
+      }
+    }
   }
 }
 
@@ -45,13 +59,19 @@ std::vector<std::uint8_t> MlcChip::extract(const BitVec& codeword) const {
   return data;
 }
 
-BitVec MlcChip::sense(const LineSlot& slot,
-                      const drift::MetricConfig& cfg) const {
+BitVec MlcChip::sense(const LineSlot& slot, const drift::MetricConfig& cfg,
+                      std::size_t line, bool r_path) {
+  const std::uint64_t serial = sense_serial_++;
   // Raw cell readout...
   std::vector<std::uint8_t> values(slot.cells.num_cells());
   for (std::size_t c = 0; c < values.size(); ++c) {
-    values[c] =
-        drift::kLevelData[slot.cells.cells()[c].read_level(now_s_, cfg)];
+    double offset = 0.0;
+    if (faults_ != nullptr && r_path) {
+      offset = faults_->sense_offset(line, c, serial);
+      if (offset != 0.0) ++stats_.injected_faults;
+    }
+    values[c] = drift::kLevelData[slot.cells.cells()[c].read_level(
+        now_s_, cfg, offset)];
   }
   // ...with ECP supplying retired cells' true values.
   slot.ecp.patch(values);
@@ -102,10 +122,21 @@ ChipReadResult MlcChip::read(std::size_t line) {
   ChipReadResult result;
   const bool try_r = cfg_.readout != ReadoutPolicy::kMSense;
   if (try_r) {
-    BitVec image = sense(slot, r_cfg_);
+    BitVec image = sense(slot, r_cfg_, line, /*r_path=*/true);
     BitVec cw(bch_.codeword_bits());
     for (std::size_t i = 0; i < cw.size(); ++i) cw.set(i, image.get(i));
-    const ecc::BchDecodeResult dec = bch_.decode(cw);
+    // Adversarial burst at the detection boundary (READDUO_FAULTS "bch"):
+    // flip 9..17 bits of the sensed word before decoding. The decoder
+    // must report detected-uncorrectable (falling back to M-sense), never
+    // miscorrect — hence decode_verified when faults are live.
+    if (faults_ != nullptr) {
+      const std::vector<unsigned> burst = faults_->bch_error_positions(
+          line, r_read_serial_++, bch_.codeword_bits());
+      if (!burst.empty()) ++stats_.injected_faults;
+      for (unsigned p : burst) cw.set(p, !cw.get(p));
+    }
+    const ecc::BchDecodeResult dec =
+        faults_ != nullptr ? bch_.decode_verified(cw) : bch_.decode(cw);
     if (dec.corrected) {
       result.data = extract(cw);
       result.corrected = true;
@@ -123,7 +154,7 @@ ChipReadResult MlcChip::read(std::size_t line) {
   // M-sense path (primary for kMSense, fallback for kHybrid).
   result.used_m_sense = true;
   if (cfg_.readout == ReadoutPolicy::kHybrid) ++stats_.m_fallbacks;
-  BitVec image = sense(slot, m_cfg_);
+  BitVec image = sense(slot, m_cfg_, line, /*r_path=*/false);
   BitVec cw(bch_.codeword_bits());
   for (std::size_t i = 0; i < cw.size(); ++i) cw.set(i, image.get(i));
   const ecc::BchDecodeResult dec = bch_.decode(cw);
@@ -163,9 +194,10 @@ void MlcChip::advance_time(double seconds) {
 void MlcChip::run_scrub_pass() {
   ++stats_.scrub_passes;
   const drift::MetricConfig& cfg = cfg_.scrub_with_m ? m_cfg_ : r_cfg_;
-  for (LineSlot& slot : lines_) {
+  for (std::size_t li = 0; li < lines_.size(); ++li) {
+    LineSlot& slot = lines_[li];
     if (!slot.written) continue;
-    BitVec image = sense(slot, cfg);
+    BitVec image = sense(slot, cfg, li, /*r_path=*/!cfg_.scrub_with_m);
     BitVec cw(bch_.codeword_bits());
     for (std::size_t i = 0; i < cw.size(); ++i) cw.set(i, image.get(i));
     const ecc::BchDecodeResult dec = bch_.decode(cw);

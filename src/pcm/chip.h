@@ -18,6 +18,10 @@
 #include "pcm/ecp.h"
 #include "pcm/line.h"
 
+namespace rd::faults {
+class FaultEngine;
+}  // namespace rd::faults
+
 namespace rd::pcm {
 
 /// How the chip senses reads.
@@ -42,6 +46,8 @@ struct ChipConfig {
   bool scrub_with_m = true;
   unsigned ecp_pointers = 6;
   std::uint64_t seed = 1;
+  /// Fault injector; nullptr defers to the process-wide faults::engine().
+  const faults::FaultEngine* faults = nullptr;
 };
 
 /// Outcome of a functional read.
@@ -61,6 +67,7 @@ struct ChipStats {
   std::uint64_t scrub_rewrites = 0;
   std::uint64_t cells_retired = 0;  ///< stuck cells patched by ECP
   std::uint64_t uncorrectable = 0;
+  std::uint64_t injected_faults = 0;  ///< READDUO_FAULTS events absorbed
 };
 
 /// A functional MLC PCM chip with ReadDuo readout.
@@ -102,8 +109,15 @@ class MlcChip {
 
   BitVec encode(const std::vector<std::uint8_t>& data) const;
   std::vector<std::uint8_t> extract(const BitVec& codeword) const;
-  /// Sense + ECP patch under `cfg` at the current time.
-  BitVec sense(const LineSlot& slot, const drift::MetricConfig& cfg) const;
+  /// Sense + ECP patch under `cfg` at the current time. `r_path` marks a
+  /// current-sense (R) readout: injected sensing transients model noise in
+  /// that fast path only — voltage (M) sensing is the robust reference and
+  /// stays clean, mirroring the scheme layer's sample_r_errors seam.
+  /// `line` keys the transients; non-const because each sense advances the
+  /// fault serial (the chip is strictly serial, so this stays
+  /// deterministic).
+  BitVec sense(const LineSlot& slot, const drift::MetricConfig& cfg,
+               std::size_t line, bool r_path);
   /// Program the codeword; verify and retire stuck cells.
   void program(LineSlot& slot, const BitVec& codeword);
   void run_scrub_pass();
@@ -113,8 +127,13 @@ class MlcChip {
   drift::MetricConfig m_cfg_;
   ecc::BchCode bch_;
   Rng rng_;
+  /// cfg_.faults, or the process engine; resolved once at construction.
+  const faults::FaultEngine* faults_;
   double now_s_ = 0.0;
   double next_scrub_s_ = 0.0;
+  /// Serials keying per-sense / per-R-read fault decisions.
+  std::uint64_t sense_serial_ = 0;
+  std::uint64_t r_read_serial_ = 0;
   std::vector<LineSlot> lines_;
   ChipStats stats_;
 };

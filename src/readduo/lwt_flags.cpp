@@ -46,6 +46,16 @@ void LwtFlags::on_scrub(bool rewrote) {
   ind_ = 0;
 }
 
+void LwtFlags::corrupt_vector_bit(unsigned bit) {
+  RD_CHECK(bit < k_);
+  vec_ ^= 1u << bit;
+}
+
+void LwtFlags::corrupt_index(unsigned index) {
+  RD_CHECK(index < k_);
+  ind_ = index;
+}
+
 bool LwtFlags::tracked_for_read(unsigned s) const {
   RD_CHECK(s < k_);
   if (vec_ == 0) return false;  // case (ii): nothing written within S

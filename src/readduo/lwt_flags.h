@@ -40,6 +40,14 @@ class LwtFlags {
   /// Storage cost in SLC bits: k vector bits + log2(k) index bits.
   unsigned flag_bits() const { return k_ + log2k_; }
 
+  /// Fault-injection seams (READDUO_FAULTS lwt-vec / lwt-ind): flip one
+  /// vector bit / overwrite the index flag, as a disturbed SLC flag cell
+  /// would. The protocol's worst case is a spuriously *set* stale bit —
+  /// tracked_for_read()'s case (iii) discard logic is what keeps a
+  /// corrupted flag from green-lighting an unsafe R-sense.
+  void corrupt_vector_bit(unsigned bit);
+  void corrupt_index(unsigned index);
+
  private:
   /// Clear vector bits with labels in the cyclic open range (from, to).
   void clear_between(unsigned from, unsigned to);

@@ -3,11 +3,15 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "faults/injector.h"
 
 namespace rd::readduo {
 
 SchemeBase::SchemeBase(std::string name, SchemeEnv env)
-    : name_(std::move(name)), env_(env), rng_(env.seed) {}
+    : name_(std::move(name)),
+      env_(env),
+      faults_(env.faults != nullptr ? env.faults : faults::engine()),
+      rng_(env.seed) {}
 
 const drift::ErrorModel& SchemeBase::r_model() {
   static const drift::ErrorModel model(drift::r_metric());
@@ -79,10 +83,20 @@ LineState& SchemeBase::state_of(std::uint64_t line, Ns now, bool archive,
   return it->second;
 }
 
-unsigned SchemeBase::sample_r_errors(const LineState& st, Ns now) {
+unsigned SchemeBase::sample_r_errors(std::uint64_t line,
+                                     const LineState& st, Ns now) {
   const double age = now.seconds() - st.last_full_write_s;
   const double p = r_table().prob(age);
-  return rng_.binomial(env_.geometry.total_cells(), p);
+  unsigned errors = rng_.binomial(env_.geometry.total_cells(), p);
+  if (faults_ != nullptr) {
+    const unsigned extra =
+        faults_->extra_r_errors(line, now, env_.geometry.total_cells());
+    if (extra > 0) {
+      counters_.injected_faults += extra;
+      errors = std::min(errors + extra, env_.geometry.total_cells());
+    }
+  }
+  return errors;
 }
 
 unsigned SchemeBase::sample_m_errors(const LineState& st, Ns now) {

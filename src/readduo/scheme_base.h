@@ -14,6 +14,10 @@
 #include "readduo/scheme.h"
 #include "readduo/steady_state.h"
 
+namespace rd::faults {
+class FaultEngine;
+}  // namespace rd::faults
+
 namespace rd::readduo {
 
 /// Environment every scheme shares: device parameters plus the workload's
@@ -48,6 +52,10 @@ struct SchemeEnv {
   /// Cap on sampled pre-window ages (seconds).
   double max_age_s = 1.0e6;
   std::uint64_t seed = 1;
+  /// Fault injector for this run; nullptr defers to the process-wide
+  /// faults::engine() (which is itself nullptr when READDUO_FAULTS is
+  /// off — the common, zero-overhead case).
+  const faults::FaultEngine* faults = nullptr;
 };
 
 /// How a line is first touched; selects the initial-age population.
@@ -88,10 +96,12 @@ class SchemeBase : public Scheme {
   LineState& state_of(std::uint64_t line, Ns now, bool archive,
                       FirstTouch touch = FirstTouch::kRead);
 
-  /// Sample the number of R-metric drift errors a read at `now` sees,
-  /// given the line's last full write.
-  unsigned sample_r_errors(const LineState& st, Ns now);
-  /// Same under the M-metric.
+  /// Sample the number of R-metric drift errors a read of `line` at `now`
+  /// sees, given the line's last full write — plus any injected sensing
+  /// transients (READDUO_FAULTS "sense"; R-sensing only, M is the robust
+  /// path by construction).
+  unsigned sample_r_errors(std::uint64_t line, const LineState& st, Ns now);
+  /// Same under the M-metric (never fault-injected).
   unsigned sample_m_errors(const LineState& st, Ns now);
 
   /// Record a full-line write of `line` (demand / conversion / rewrite).
@@ -115,6 +125,8 @@ class SchemeBase : public Scheme {
 
   Rng& rng() { return rng_; }
   const SchemeEnv& env() const { return env_; }
+  /// The resolved fault injector (nullptr when faults are off).
+  const faults::FaultEngine* faults() const { return faults_; }
 
  public:
   /// Shared per-process singletons: the error tables and models are pure
@@ -133,6 +145,9 @@ class SchemeBase : public Scheme {
  private:
   std::string name_;
   SchemeEnv env_;
+  /// env_.faults, or the process engine when that is null; resolved once
+  /// at construction so the hot path is a plain pointer test.
+  const faults::FaultEngine* faults_;
   Rng rng_;
   /// Ordered by line address: lookups are keyed, but an ordered map keeps
   /// any future iteration (dumps, scrubs walking the population)

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "common/check.h"
+#include "faults/injector.h"
 
 namespace rd::readduo {
 
@@ -132,7 +133,7 @@ class ScrubbingScheme : public SchemeBase {
 
   ReadOutcome on_read(std::uint64_t line, Ns now, bool archive) override {
     LineState& st = state_of(line, now, archive);
-    const unsigned errors = sample_r_errors(st, now);
+    const unsigned errors = sample_r_errors(line, st, now);
     if (errors > kDetectable) {
       ++counters_.silent_corruptions;
     } else if (errors > kCorrectable) {
@@ -251,7 +252,7 @@ class HybridScheme : public SchemeBase {
 
   ReadOutcome on_read(std::uint64_t line, Ns now, bool archive) override {
     LineState& st = state_of(line, now, archive);
-    const unsigned errors = sample_r_errors(st, now);
+    const unsigned errors = sample_r_errors(line, st, now);
     if (errors <= kCorrectable) {
       ++counters_.r_reads;
       add_read_energy(ReadMode::kRRead);
@@ -332,11 +333,24 @@ class LwtScheme : public SchemeBase {
   ReadOutcome on_read(std::uint64_t line, Ns now, bool archive) override {
     LineState& st = state_of(line, now, archive);
     const unsigned s = label_of(line, now.seconds());
+    // Flag-corruption faults strike the SLC flag cells *before* the
+    // controller consults them — the protocol's stale-bit hygiene is what
+    // keeps a flipped bit from green-lighting an unsafe R-sense.
+    if (const faults::FaultEngine* fe = faults()) {
+      if (auto bit = fe->lwt_vector_flip(line, now, opts_.k)) {
+        st.flags.corrupt_vector_bit(*bit);
+        ++counters_.injected_faults;
+      }
+      if (auto idx = fe->lwt_index_overwrite(line, now, opts_.k)) {
+        st.flags.corrupt_index(*idx);
+        ++counters_.injected_faults;
+      }
+    }
     const bool tracked = st.flags.tracked_for_read(s);
     controller_.record_read(!tracked, tracked && st.converted);
 
     if (tracked) {
-      const unsigned errors = sample_r_errors(st, now);
+      const unsigned errors = sample_r_errors(line, st, now);
       if (errors <= kCorrectable) {
         ++counters_.r_reads;
         add_read_energy(ReadMode::kRRead);
@@ -488,7 +502,7 @@ class SelectScheme : public LwtScheme {
       // measured from the last full write (Section III-D).
       const unsigned n = env().geometry.total_cells();
       unsigned cells = rng().binomial(n, opts_.changed_cell_fraction) +
-                       sample_r_errors(st, now);
+                       sample_r_errors(line, st, now);
       cells = std::min(cells, n);
       st.last_write_s = now.seconds();
       ++counters_.demand_diff_writes;

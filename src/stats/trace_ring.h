@@ -22,7 +22,8 @@ namespace rd::stats {
 
 /// One simulator event. `kind` is a single-letter tag:
 ///   'R' read service start, 'W' write service start,
-///   'S' scrub sense start,  'C' write cancellation.
+///   'S' scrub sense start,  'C' write cancellation,
+///   'F' injected-fault burst (READDUO_FAULTS; latency field = count).
 struct TraceEvent {
   std::int64_t time_ns = 0;
   char kind = '?';

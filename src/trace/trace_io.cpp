@@ -1,11 +1,14 @@
 #include "trace/trace_io.h"
 
+#include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <set>
 #include <sstream>
 
 #include "common/check.h"
+#include "faults/injector.h"
 
 namespace rd::trace {
 
@@ -62,6 +65,43 @@ std::vector<MemOp> load_trace(std::istream& in) {
     ops.push_back(op);
   }
   return ops;
+}
+
+TraceFileResult load_trace_file(const std::string& path,
+                                unsigned max_attempts) {
+  RD_CHECK(max_attempts >= 1);
+  TraceFileResult result;
+  const faults::FaultEngine* fe = faults::engine();
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    result.attempts = attempt + 1;
+    std::ifstream in(path);
+    if (!in) {
+      result.message = "cannot open trace file '" + path + "'";
+      break;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    if (fe != nullptr) fe->trace_short_read(path, attempt, bytes);
+    std::istringstream stream(bytes);
+    try {
+      result.ops = load_trace(stream);
+      result.ok = true;
+      if (attempt > 0) {
+        result.message = "trace '" + path + "' recovered on attempt " +
+                         std::to_string(result.attempts);
+      }
+      return result;
+    } catch (const CheckFailure& e) {
+      result.message = e.what();
+    }
+  }
+  result.ops.clear();
+  std::fprintf(stderr,
+               "readduo: warning: skipping trace '%s' after %u read "
+               "attempt(s): %s\n",
+               path.c_str(), result.attempts, result.message.c_str());
+  return result;
 }
 
 TraceReplayer::TraceReplayer(std::vector<MemOp> ops) : ops_(std::move(ops)) {

@@ -26,6 +26,23 @@ std::size_t record_trace(TraceGen& gen, std::size_t n, std::ostream& out);
 /// the offending line number).
 std::vector<MemOp> load_trace(std::istream& in);
 
+/// Outcome of a fault-tolerant trace-file load.
+struct TraceFileResult {
+  std::vector<MemOp> ops;  ///< complete parsed trace; empty unless ok
+  bool ok = false;
+  unsigned attempts = 0;   ///< read attempts consumed (>= 1)
+  std::string message;     ///< failure report, or recovered-after-retry note
+};
+
+/// Load a trace file, absorbing transient short reads: a parse failure
+/// (truncated or torn file — including cuts injected by the READDUO_FAULTS
+/// trace class) triggers a bounded re-read. After `max_attempts` failures
+/// the load is skipped with a stderr report (ok=false, empty ops) instead
+/// of aborting the caller. A missing file fails immediately — retrying
+/// cannot help.
+TraceFileResult load_trace_file(const std::string& path,
+                                unsigned max_attempts = 3);
+
 /// A TraceGen-compatible replayer over a recorded op vector; wraps around
 /// at the end (the simulator needs an infinite stream).
 class TraceReplayer {

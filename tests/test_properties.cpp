@@ -4,6 +4,8 @@
 #include "common/rng.h"
 #include "drift/error_model.h"
 #include "ecc/bch.h"
+#include "ecc/secded.h"
+#include "faults/injector.h"
 #include "memsim/env.h"
 #include "memsim/simulator.h"
 #include "readduo/schemes.h"
@@ -59,6 +61,109 @@ TEST(BchProperties, XorOfCodewordsIsCodeword) {
   const BitVec c1 = code.encode(random_bits(rng, 512));
   const BitVec c2 = code.encode(random_bits(rng, 512));
   EXPECT_TRUE(code.is_codeword(c1 ^ c2));
+}
+
+/// e distinct flip positions drawn through the fault injector, so the
+/// property tests exercise exactly the burst generator the READDUO_FAULTS
+/// "bch" class uses at runtime.
+std::vector<unsigned> injected_burst(unsigned e, std::uint64_t key,
+                                     unsigned nbits) {
+  const faults::FaultEngine engine(faults::FaultPlan::parse(
+      "seed=31;bch:p=1,e=" + std::to_string(e)));
+  return engine.bch_error_positions(key, key * 7 + 1, nbits);
+}
+
+TEST(BchProperties, CorrectsEveryWeightUpToT) {
+  // e <= t = 8 errors anywhere in the codeword must decode back to the
+  // original word with exactly e corrections.
+  const ecc::BchCode code(10, 8, 512);
+  Rng rng(11);
+  for (unsigned e = 1; e <= 8; ++e) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const BitVec original = code.encode(random_bits(rng, 512));
+      BitVec noisy = original;
+      // Random distinct positions per (e, trial).
+      std::vector<unsigned> flips;
+      while (flips.size() < e) {
+        const unsigned p = static_cast<unsigned>(
+            rng.uniform_below(code.codeword_bits()));
+        bool dup = false;
+        for (unsigned q : flips) dup = dup || q == p;
+        if (!dup) flips.push_back(p);
+      }
+      for (unsigned p : flips) noisy.set(p, !noisy.get(p));
+      const ecc::BchDecodeResult dec = code.decode(noisy);
+      EXPECT_TRUE(dec.corrected) << "e=" << e << " trial " << trial;
+      EXPECT_EQ(dec.num_corrected, e) << "e=" << e << " trial " << trial;
+      EXPECT_TRUE(noisy == original) << "e=" << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(BchProperties, BoundaryWeightsDetectNeverMiscorrect) {
+  // 9 <= e <= 17 errors are past the correction radius: the original
+  // codeword is unreachable (distance e > t), so a "corrected" outcome
+  // would be a miscorrection to a *different* codeword — silent
+  // corruption. For these injector-generated bursts the decoder must
+  // report detected-uncorrectable, and decode_verified must agree.
+  const ecc::BchCode code(10, 8, 512);
+  Rng rng(12);
+  for (unsigned e = 9; e <= 17; ++e) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const BitVec original = code.encode(random_bits(rng, 512));
+      const std::vector<unsigned> flips =
+          injected_burst(e, e * 100 + static_cast<unsigned>(trial),
+                         code.codeword_bits());
+      ASSERT_EQ(flips.size(), e);
+      BitVec noisy = original;
+      for (unsigned p : flips) noisy.set(p, !noisy.get(p));
+
+      BitVec plain = noisy;
+      const ecc::BchDecodeResult dec = code.decode(plain);
+      EXPECT_FALSE(dec.corrected) << "e=" << e << " trial " << trial;
+      EXPECT_TRUE(dec.detected_uncorrectable)
+          << "e=" << e << " trial " << trial;
+
+      BitVec verified = noisy;
+      const ecc::BchDecodeResult vdec = code.decode_verified(verified);
+      EXPECT_FALSE(vdec.corrected) << "e=" << e << " trial " << trial;
+      EXPECT_TRUE(vdec.detected_uncorrectable)
+          << "e=" << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(SecdedProperties, InjectedSingleAndDoubleErrorsCrossCheck) {
+  // The TLC baseline's (72, 64) SECDED, cross-checked with flip positions
+  // drawn through the same injector: 1 flip corrects, 2 flips are
+  // detected as a double error (never silently accepted).
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t data = rng.next();
+    const std::uint8_t checks = ecc::Secded7264::encode_checks(data);
+    const std::vector<unsigned> pos = injected_burst(
+        /*e=*/9, /*key=*/static_cast<std::uint64_t>(trial),
+        ecc::Secded7264::kCodeBits);
+
+    {  // single error in the data half
+      std::uint64_t d = data ^ (1ull << (pos[0] % 64));
+      std::uint8_t c = checks;
+      const ecc::SecdedResult r = ecc::Secded7264::decode(d, c);
+      EXPECT_TRUE(r.ok) << trial;
+      EXPECT_EQ(r.num_corrected, 1u) << trial;
+      EXPECT_EQ(d, data) << trial;
+    }
+    {  // double error: two distinct data bits
+      const unsigned b0 = pos[0] % 64;
+      unsigned b1 = pos[1] % 64;
+      if (b1 == b0) b1 = (b1 + 1) % 64;
+      std::uint64_t d = data ^ (1ull << b0) ^ (1ull << b1);
+      std::uint8_t c = checks;
+      const ecc::SecdedResult r = ecc::Secded7264::decode(d, c);
+      EXPECT_FALSE(r.ok) << trial;
+      EXPECT_TRUE(r.double_error) << trial;
+    }
+  }
 }
 
 // --- Drift model properties -------------------------------------------------
