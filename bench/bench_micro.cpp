@@ -1,8 +1,15 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // substrate: BCH codec, drift analytics, device Monte-Carlo, and the
 // event-driven simulator core.
+//
+// The BM_Kernel_* benchmarks time each rewritten hot-path kernel in both
+// its implementations — `_ref` (straight-line reference) and `_opt`
+// (table-driven / memoized / batched) — in one binary, so every run is a
+// self-contained before/after measurement. run_all_benches.sh extracts
+// the pairs into BENCH_pr5.json (see README "Profiling the hot paths").
 #include <benchmark/benchmark.h>
 
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "drift/error_model.h"
 #include "ecc/bch.h"
@@ -10,6 +17,7 @@
 #include "memsim/env.h"
 #include "memsim/simulator.h"
 #include "pcm/line.h"
+#include "pcm/mc_ler.h"
 #include "readduo/schemes.h"
 #include "trace/generator.h"
 
@@ -20,6 +28,12 @@ namespace {
 const ecc::BchCode& bch8() {
   static const ecc::BchCode code(10, 8, 512);
   return code;
+}
+
+const ecc::BchCode& bch8_mode(KernelMode mode) {
+  static const ecc::BchCode ref(10, 8, 512, KernelMode::kReference);
+  static const ecc::BchCode opt(10, 8, 512, KernelMode::kOptimized);
+  return mode == KernelMode::kReference ? ref : opt;
 }
 
 BitVec random_payload(Rng& rng, std::size_t n) {
@@ -129,6 +143,96 @@ void BM_TraceGen(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceGen);
+
+// --- Kernel before/after pairs (DESIGN.md §10) ---------------------------
+//
+// Each pair runs the identical workload through the reference and the
+// optimized implementation; the ratio is the serial speedup of that
+// kernel on this host. Registered with Kernel_<name>_{ref,opt} names so
+// run_all_benches.sh can pair them mechanically.
+
+void BM_KernelBchSyndrome(benchmark::State& state, KernelMode mode) {
+  Rng rng(21);
+  const ecc::BchCode& code = bch8_mode(mode);
+  BitVec cw = code.encode(random_payload(rng, 512));
+  // 8 errors: the syndrome pass always scans the full word either way;
+  // errors keep the decode-representative bit mix.
+  for (int i = 0; i < 8; ++i) cw.flip(rng.uniform_below(cw.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.compute_syndromes(cw));
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelBchSyndrome, ref, KernelMode::kReference)
+    ->Name("Kernel_bch_syndrome_ref");
+BENCHMARK_CAPTURE(BM_KernelBchSyndrome, opt, KernelMode::kOptimized)
+    ->Name("Kernel_bch_syndrome_opt");
+
+void BM_KernelBchDecode8(benchmark::State& state, KernelMode mode) {
+  Rng rng(22);
+  const ecc::BchCode& code = bch8_mode(mode);
+  const BitVec clean = code.encode(random_payload(rng, 512));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BitVec cw = clean;
+    for (int i = 0; i < 8; ++i) cw.flip(rng.uniform_below(cw.size()));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(code.decode(cw));
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelBchDecode8, ref, KernelMode::kReference)
+    ->Name("Kernel_bch_decode8_ref");
+BENCHMARK_CAPTURE(BM_KernelBchDecode8, opt, KernelMode::kOptimized)
+    ->Name("Kernel_bch_decode8_opt");
+
+void BM_KernelDriftLerTail(benchmark::State& state, KernelMode mode) {
+  // Re-evaluating a Table III point, the access pattern of the (E, S, W)
+  // grids: the memoized model pays the quadrature once per distinct
+  // (state, t), the reference pays it on every call.
+  const drift::LerCalculator calc{
+      drift::ErrorModel(drift::r_metric(), mode)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.ler(8, 640.0));
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelDriftLerTail, ref, KernelMode::kReference)
+    ->Name("Kernel_drift_ler_tail_ref");
+BENCHMARK_CAPTURE(BM_KernelDriftLerTail, opt, KernelMode::kOptimized)
+    ->Name("Kernel_drift_ler_tail_opt");
+
+void BM_KernelMlcLineRead(benchmark::State& state, KernelMode mode) {
+  Rng rng(23);
+  const drift::MetricConfig cfg = drift::r_metric();
+  pcm::MlcLine line(592);
+  line.write_full(random_payload(rng, 592), 0.0, rng, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(line.read(640.0, cfg, mode));
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelMlcLineRead, ref, KernelMode::kReference)
+    ->Name("Kernel_mlc_line_read_ref");
+BENCHMARK_CAPTURE(BM_KernelMlcLineRead, opt, KernelMode::kOptimized)
+    ->Name("Kernel_mlc_line_read_opt");
+
+void BM_KernelDriftErrorScan(benchmark::State& state, KernelMode mode) {
+  // The Monte-Carlo LER / Figure 6 inner loop: count misread cells of a
+  // written line at many ages. One log10 per age in the batched kernel,
+  // one per (age, cell) in the reference.
+  Rng rng(23);
+  const drift::MetricConfig cfg = drift::r_metric();
+  pcm::MlcLine line(592);
+  line.write_full(random_payload(rng, 592), 0.0, rng, cfg);
+  for (auto _ : state) {
+    std::size_t errors = 0;
+    for (int i = 0; i < 64; ++i) {
+      errors += line.count_drift_errors(64.0 * (i + 1), cfg, mode);
+    }
+    benchmark::DoNotOptimize(errors);
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelDriftErrorScan, ref, KernelMode::kReference)
+    ->Name("Kernel_drift_error_scan_ref");
+BENCHMARK_CAPTURE(BM_KernelDriftErrorScan, opt, KernelMode::kOptimized)
+    ->Name("Kernel_drift_error_scan_opt");
 
 void BM_SimulatorRun(benchmark::State& state) {
   const auto& w = trace::workload_by_name("bzip2");

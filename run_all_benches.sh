@@ -6,13 +6,31 @@
 # trajectory to cite, and the per-bench "== harness:" self-metrics lines
 # (runs, cache hits/misses, simulated wall-clock) are aggregated into a
 # final summary.
+#
+# READDUO_BENCH_JSON=path additionally writes a machine-readable summary:
+# per-bench wall-clock, the Kernel_*_{ref,opt} pairs bench_micro times for
+# every rewritten hot-path kernel (DESIGN.md §10) with their serial
+# speedups, host core count, and whether bench_cache/ was warm. BENCH_pr5.json
+# was produced this way.
 set -e
 cd "$(dirname "$0")"
 
 now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
 
+json_out=${READDUO_BENCH_JSON:-}
+
 harness_log=$(mktemp)
-trap 'rm -f "$harness_log"' EXIT
+bench_times=$(mktemp)
+kernel_json=$(mktemp)
+trap 'rm -f "$harness_log" "$bench_times" "$kernel_json"' EXIT
+
+# Record the cache state before the sweep touches it: a warm bench_cache/
+# replays the heavy sims, so the per-bench numbers mean something different.
+if [ -n "$(ls bench_cache 2>/dev/null)" ]; then
+  cache_state=warm
+else
+  cache_state=cold
+fi
 
 total_start=$(now_ms)
 for b in \
@@ -24,9 +42,17 @@ for b in \
     bench_micro; do
   echo "##### $b #####"
   bench_start=$(now_ms)
-  "./build/bench/$b" | tee -a "$harness_log"
+  if [ "$b" = bench_micro ] && [ -n "$json_out" ]; then
+    # Ask google-benchmark for its JSON report so the kernel ref/opt
+    # pairs can be extracted mechanically below.
+    "./build/bench/$b" --benchmark_out="$kernel_json" \
+        --benchmark_out_format=json | tee -a "$harness_log"
+  else
+    "./build/bench/$b" | tee -a "$harness_log"
+  fi
   bench_end=$(now_ms)
   echo "----- $b: $(( bench_end - bench_start )) ms"
+  echo "$b $(( bench_end - bench_start ))" >> "$bench_times"
   echo
 done
 total_end=$(now_ms)
@@ -51,3 +77,62 @@ awk '
            benches, runs, hits, misses, simms, threads
   }
 ' "$harness_log"
+
+# Optional machine-readable summary (see header).
+if [ -n "$json_out" ]; then
+  awk -v total_ms="$(( total_end - total_start ))" \
+      -v cores="$(nproc)" \
+      -v cache="$cache_state" \
+      -v threads="${READDUO_THREADS:-auto}" \
+      -v instr="${READDUO_INSTR:-default}" \
+      -v date="$(date +%Y-%m-%d)" \
+      -v benchfile="$bench_times" \
+      -v kernelfile="$kernel_json" '
+  BEGIN {
+    # Per-bench wall-clock, in run order.
+    npb = 0
+    while ((getline line < benchfile) > 0) {
+      split(line, a, " ")
+      pb[++npb] = a[1]
+      pbms[a[1]] = a[2]
+    }
+    # Kernel_<name>_{ref,opt} real_time pairs from the google-benchmark
+    # JSON report (bench_micro registers one pair per rewritten kernel).
+    name = ""; nk = 0
+    while ((getline line < kernelfile) > 0) {
+      if (line ~ /^ *"name":/) {
+        gsub(/.*"name": "/, "", line); gsub(/".*/, "", line)
+        name = line
+      } else if (line ~ /^ *"real_time":/ && name ~ /^Kernel_/) {
+        gsub(/.*"real_time": /, "", line); gsub(/,.*/, "", line)
+        k = substr(name, 8, length(name) - 11)
+        if (name ~ /_ref$/) { ref[k] = line + 0 }
+        else if (name ~ /_opt$/) {
+          opt[k] = line + 0
+          if (!(k in seen)) { seen[k] = 1; order[++nk] = k }
+        }
+        name = ""
+      }
+    }
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"host\": {\"cores\": %d, \"os\": \"linux\"},\n", cores
+    printf "  \"env\": {\"READDUO_THREADS\": \"%s\", \"READDUO_INSTR\": \"%s\"},\n", threads, instr
+    printf "  \"cache\": \"%s\",\n", cache
+    printf "  \"total_wall_ms\": %d,\n", total_ms
+    printf "  \"per_bench_ms\": {\n"
+    for (i = 1; i <= npb; ++i) {
+      printf "    \"%s\": %d%s\n", pb[i], pbms[pb[i]], i < npb ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"kernels_ns\": {\n"
+    for (i = 1; i <= nk; ++i) {
+      k = order[i]
+      printf "    \"%s\": {\"ref\": %.0f, \"opt\": %.0f, \"speedup\": %.2f}%s\n", \
+             k, ref[k], opt[k], ref[k] / opt[k], i < nk ? "," : ""
+    }
+    printf "  }\n"
+    printf "}\n"
+  }' > "$json_out"
+  echo "===== wrote $json_out"
+fi

@@ -10,6 +10,10 @@
 #      assertion, including with a live fault plan (test_faults runs its
 #      FaultDeterminism case under both widths internally, and this lane
 #      additionally re-runs the whole binary under each width).
+#   3. A READDUO_KERNELS=reference re-run of the golden suite plus the
+#      kernel-equivalence suite: clean-run outputs must stay bit-identical
+#      when every optimized hot-path kernel (DESIGN.md §10) is swapped for
+#      its straight-line reference implementation.
 #
 # Usage: ./run_test_sweep.sh [build-dir] [ctest -R regex]
 #   (default: build, all tests)
@@ -41,6 +45,16 @@ for bin in test_parallel test_metrics test_faults; do
     READDUO_THREADS=$t "$BUILD/tests/$bin" --gtest_brief=1 \
       || failures=$((failures + 1))
   done
+done
+
+step "kernel bit-identity: golden suite under READDUO_KERNELS=reference"
+for bin in test_golden test_kernels; do
+  if [ ! -x "$BUILD/tests/$bin" ]; then
+    cmake --build "$BUILD" --target "$bin" -j || exit 1
+  fi
+  echo "-- $bin (READDUO_KERNELS=reference)"
+  READDUO_KERNELS=reference "$BUILD/tests/$bin" --gtest_brief=1 \
+    || failures=$((failures + 1))
 done
 
 step "test sweep: $failures failing stage(s)"

@@ -1,0 +1,42 @@
+// Kernel implementation selection: optimized vs straight-line reference.
+//
+// Every hot-path kernel rewritten for speed (BCH syndromes/Chien, drift
+// error-model memoization, batched MLC line reads) keeps its original
+// straight-line implementation compiled in and selectable, so the test
+// suite — and any suspicious user — can run the whole system on the
+// reference path and demand bit-identical outputs. Selection happens at
+// two levels:
+//
+//   * process-wide: READDUO_KERNELS=reference|optimized (default
+//     optimized), read once through the audited env gateway;
+//   * per-object: constructors and batch entry points take an explicit
+//     KernelMode, where kAuto defers to the process-wide setting.
+//
+// The contract is strict value equality, not approximate agreement: an
+// optimized kernel must produce bit-identical doubles and identical
+// integer/bit outputs for every input (enforced by tests/test_kernels.cpp
+// and the golden files under tests/golden/, which the reference-kernel
+// lane of run_test_sweep.sh replays).
+#pragma once
+
+namespace rd {
+
+/// Which implementation of a rewritten kernel to run.
+enum class KernelMode {
+  kAuto,       ///< defer to READDUO_KERNELS (default: optimized)
+  kReference,  ///< original straight-line implementation
+  kOptimized,  ///< table-driven / memoized / batched implementation
+};
+
+/// The process-wide kernel mode from READDUO_KERNELS ("reference" or
+/// "optimized"; unset means optimized). Read once per process (thread-safe);
+/// a set-but-unrecognized value throws instead of silently running the
+/// default. Never returns kAuto.
+KernelMode kernels_mode();
+
+/// Collapse kAuto to the process-wide mode; returns `mode` otherwise.
+inline KernelMode resolve_kernel_mode(KernelMode mode) {
+  return mode == KernelMode::kAuto ? kernels_mode() : mode;
+}
+
+}  // namespace rd

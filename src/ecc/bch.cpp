@@ -1,6 +1,7 @@
 #include "ecc/bch.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
 
@@ -10,8 +11,11 @@ using gf::Elem;
 using gf::Field;
 using gf::Poly;
 
-BchCode::BchCode(unsigned m, unsigned t, unsigned data_bits)
-    : field_(m), t_(t), data_bits_(data_bits) {
+BchCode::BchCode(unsigned m, unsigned t, unsigned data_bits, KernelMode mode)
+    : field_(m),
+      t_(t),
+      data_bits_(data_bits),
+      mode_(resolve_kernel_mode(mode)) {
   RD_CHECK(t >= 1);
   // g(x) = lcm of minimal polynomials of alpha^1 .. alpha^2t. Since minimal
   // polynomials are either identical (same cyclotomic coset) or coprime,
@@ -37,6 +41,24 @@ BchCode::BchCode(unsigned m, unsigned t, unsigned data_bits)
     const Elem c = gen_.coeff(i);
     RD_CHECK(c == 0 || c == 1);
     gen_bits_[i] = static_cast<std::uint8_t>(c);
+  }
+
+  if (mode_ == KernelMode::kOptimized) {
+    // alpha^(pos * k) for every position and every odd k in [1, 2t); the
+    // even syndromes follow from S_2k = S_k^2. Built incrementally with
+    // reduced exponents, so construction is one table lookup per entry.
+    const std::uint32_t n = field_.order();
+    syn_pow_.resize(static_cast<std::size_t>(t_) * n);
+    for (unsigned r = 0; r < t_; ++r) {
+      const std::uint32_t k = 2 * r + 1;
+      Elem* row = syn_pow_.data() + static_cast<std::size_t>(r) * n;
+      std::uint32_t e = 0;  // pos * k mod n
+      for (std::uint32_t pos = 0; pos < n; ++pos) {
+        row[pos] = field_.alpha_pow_reduced(e);
+        e += k;
+        if (e >= n) e -= n;
+      }
+    }
   }
 }
 
@@ -66,8 +88,8 @@ BitVec BchCode::encode(const BitVec& data) const {
   return cw;
 }
 
-bool BchCode::syndromes(const BitVec& word, std::vector<Elem>& s) const {
-  RD_CHECK(word.size() == codeword_bits());
+bool BchCode::syndromes_reference(const BitVec& word,
+                                  std::vector<Elem>& s) const {
   s.assign(2 * t_ + 1, 0);  // s[1..2t]; s[0] unused
   bool all_zero = true;
   // Polynomial position of bit: parity bit i -> x^i, data bit j ->
@@ -89,6 +111,48 @@ bool BchCode::syndromes(const BitVec& word, std::vector<Elem>& s) const {
   return all_zero;
 }
 
+bool BchCode::syndromes_optimized(const BitVec& word,
+                                  std::vector<Elem>& s) const {
+  s.assign(2 * t_ + 1, 0);  // s[1..2t]; s[0] unused
+  const std::uint32_t n = field_.order();
+  // Odd syndromes: word-parallel scan of set bits (skip zero words whole),
+  // one table lookup per (set bit, odd k).
+  const std::vector<std::uint64_t>& words = word.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const std::size_t bit =
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      const std::size_t pos =
+          bit < data_bits_ ? parity_bits_ + bit : bit - data_bits_;
+      const Elem* col = syn_pow_.data() + pos;
+      for (unsigned r = 0; r < t_; ++r) {
+        s[2 * r + 1] ^= col[static_cast<std::size_t>(r) * n];
+      }
+    }
+  }
+  // Even syndromes from the Frobenius identity S_2k = S_k^2 (binary BCH);
+  // increasing k keeps every dependency already filled.
+  for (unsigned k = 2; k <= 2 * t_; k += 2) s[k] = field_.sqr(s[k / 2]);
+  for (unsigned k = 1; k <= 2 * t_; ++k) {
+    if (s[k] != 0) return false;
+  }
+  return true;
+}
+
+bool BchCode::syndromes(const BitVec& word, std::vector<Elem>& s) const {
+  RD_CHECK(word.size() == codeword_bits());
+  return mode_ == KernelMode::kReference ? syndromes_reference(word, s)
+                                         : syndromes_optimized(word, s);
+}
+
+std::vector<Elem> BchCode::compute_syndromes(const BitVec& word) const {
+  std::vector<Elem> s;
+  syndromes(word, s);
+  return s;
+}
+
 bool BchCode::is_codeword(const BitVec& codeword) const {
   std::vector<Elem> s;
   return syndromes(codeword, s);
@@ -103,6 +167,66 @@ BchDecodeResult BchCode::decode_verified(BitVec& codeword) const {
     result.detected_uncorrectable = true;
   }
   return result;
+}
+
+std::vector<std::size_t> BchCode::chien_reference(const std::vector<Elem>& C,
+                                                  unsigned limit) const {
+  // Error at polynomial position p iff C(alpha^-p) == 0; full-period scan
+  // with per-term alpha_pow evaluation.
+  std::vector<std::size_t> error_positions;
+  const std::uint32_t n_full = field_.order();
+  for (std::uint32_t p = 0; p < n_full; ++p) {
+    Elem acc = 0;
+    for (std::size_t i = 0; i < C.size(); ++i) {
+      acc ^= field_.mul(
+          C[i], field_.alpha_pow(-static_cast<std::int64_t>(p) *
+                                 static_cast<std::int64_t>(i)));
+    }
+    if (acc == 0) {
+      error_positions.push_back(p);
+      if (error_positions.size() > limit) break;
+    }
+  }
+  return error_positions;
+}
+
+std::vector<std::size_t> BchCode::chien_optimized(const std::vector<Elem>& C,
+                                                  unsigned limit) const {
+  // Incremental Chien: term i of C(alpha^-p) is alpha^(log C_i - p*i).
+  // Keep each term's exponent reduced in [0, n) and step it by (n - i) per
+  // position — one table lookup and one add per (term, position), no
+  // multiplies. Roots at p >= codeword_bits() land in the shortened
+  // (implicitly zero) region, where decode() fails regardless of which
+  // roots it saw, so the scan stops at the codeword length; finding fewer
+  // than `limit` roots there signals the same failure. A degree-L locator
+  // has at most L = limit roots, so the scan also stops once all are found.
+  std::vector<std::size_t> error_positions;
+  const std::uint32_t n = field_.order();
+  const std::size_t terms = C.size();
+  // Parallel arrays of the nonzero terms' (step, exponent).
+  std::vector<std::uint32_t> step(terms), expo(terms);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < terms; ++i) {
+    if (C[i] == 0) continue;
+    step[live] = n - static_cast<std::uint32_t>(i % n);
+    expo[live] = field_.log(C[i]);
+    ++live;
+  }
+  const std::uint32_t scan = static_cast<std::uint32_t>(codeword_bits());
+  for (std::uint32_t p = 0; p < scan; ++p) {
+    Elem acc = 0;
+    for (std::size_t i = 0; i < live; ++i) {
+      acc ^= field_.alpha_pow_reduced(expo[i]);
+      std::uint32_t e = expo[i] + step[i];
+      if (e >= n) e -= n;
+      expo[i] = e;
+    }
+    if (acc == 0) {
+      error_positions.push_back(p);
+      if (error_positions.size() == limit) break;
+    }
+  }
+  return error_positions;
 }
 
 BchDecodeResult BchCode::decode(BitVec& codeword) const {
@@ -159,21 +283,9 @@ BchDecodeResult BchCode::decode(BitVec& codeword) const {
     return result;
   }
 
-  // Chien search: error at polynomial position p iff C(alpha^-p) == 0.
-  std::vector<std::size_t> error_positions;
-  const std::uint32_t n_full = field_.order();
-  for (std::uint32_t p = 0; p < n_full; ++p) {
-    Elem acc = 0;
-    for (std::size_t i = 0; i < C.size(); ++i) {
-      acc ^= field_.mul(
-          C[i], field_.alpha_pow(-static_cast<std::int64_t>(p) *
-                                 static_cast<std::int64_t>(i)));
-    }
-    if (acc == 0) {
-      error_positions.push_back(p);
-      if (error_positions.size() > L) break;
-    }
-  }
+  const std::vector<std::size_t> error_positions =
+      mode_ == KernelMode::kReference ? chien_reference(C, L)
+                                      : chien_optimized(C, L);
 
   if (error_positions.size() != L) {
     result.detected_uncorrectable = true;
@@ -181,7 +293,8 @@ BchDecodeResult BchCode::decode(BitVec& codeword) const {
   }
 
   // Map polynomial positions back to codeword bit indices; a position in
-  // the shortened (implicitly zero) region means decode failure.
+  // the shortened (implicitly zero) region means decode failure. (The
+  // optimized Chien never reports such positions; the reference scan can.)
   for (std::size_t pos : error_positions) {
     if (pos >= codeword_bits()) {
       result.detected_uncorrectable = true;

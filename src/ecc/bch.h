@@ -5,6 +5,23 @@
 // from correction, Section III-B) detecting up to 17. This is a complete
 // hard-decision implementation: systematic LFSR encoding, syndrome
 // computation, Berlekamp–Massey, and Chien search.
+//
+// Syndrome computation and the Chien search are the decode hot path (every
+// R-read and every scrub pays them), so both exist in two selectable
+// implementations (DESIGN.md §10):
+//
+//   * reference — per-bit polynomial evaluation via Field::alpha_pow and a
+//     full-period Chien scan, exactly the original straight-line code;
+//   * optimized — word-parallel scan of the received word's set bits
+//     against precomputed alpha^(pos * k) tables for the odd k only (the
+//     even syndromes follow from S_2k = S_k^2 in characteristic 2), and an
+//     incremental log-stepped Chien search over the shortened positions
+//     with an early exit once all roots are found.
+//
+// Both produce identical syndromes, identical decode outcomes, and
+// identical corrected words for every input (tests/test_kernels.cpp
+// cross-checks them exhaustively per weight; the golden lane replays the
+// whole system on the reference path).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +29,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/kernels.h"
 #include "gf/gf2m.h"
 #include "gf/poly.h"
 
@@ -35,15 +53,25 @@ struct BchDecodeResult {
 class BchCode {
  public:
   /// Build a t-error-correcting code over GF(2^m) for the given payload
-  /// size. Requires data_bits + parity <= 2^m - 1.
-  BchCode(unsigned m, unsigned t, unsigned data_bits);
+  /// size. Requires data_bits + parity <= 2^m - 1. `mode` selects the
+  /// syndrome/Chien kernels (kAuto: READDUO_KERNELS, default optimized);
+  /// decode results are bit-identical either way. A constructed code is
+  /// immutable and safe to share across threads.
+  BchCode(unsigned m, unsigned t, unsigned data_bits,
+          KernelMode mode = KernelMode::kAuto);
 
+  /// Correction power t (design distance 2t + 1).
   unsigned t() const { return t_; }
+  /// Payload size in bits.
   unsigned data_bits() const { return data_bits_; }
+  /// Parity size in bits (degree of the generator polynomial).
   unsigned parity_bits() const { return parity_bits_; }
+  /// Total codeword size data_bits + parity_bits.
   unsigned codeword_bits() const { return data_bits_ + parity_bits_; }
   /// Design distance 2t + 1.
   unsigned design_distance() const { return 2 * t_ + 1; }
+  /// The kernel implementation this instance runs (never kAuto).
+  KernelMode kernel_mode() const { return mode_; }
 
   /// Encode payload (size data_bits) into a codeword (size codeword_bits).
   BitVec encode(const BitVec& data) const;
@@ -66,22 +94,46 @@ class BchCode {
   /// detected). Cheaper than a full decode.
   bool is_codeword(const BitVec& codeword) const;
 
+  /// Syndromes S_1 .. S_2t of the received word, as a vector indexed
+  /// [0, 2t] with slot 0 unused (zero). Exposed so the kernel-equivalence
+  /// tests and micro-benchmarks can compare implementations element by
+  /// element; decode() consumes the same values internally.
+  std::vector<gf::Elem> compute_syndromes(const BitVec& word) const;
+
   /// The generator polynomial over GF(2) (bits are 0/1 coefficients).
   const gf::Poly& generator() const { return gen_; }
 
+  /// The underlying GF(2^m) field.
   const gf::Field& field() const { return field_; }
 
  private:
   /// Syndromes S_1 .. S_2t of the received word; returns true if all zero.
+  /// Dispatches on mode_.
   bool syndromes(const BitVec& word, std::vector<gf::Elem>& s) const;
+  bool syndromes_reference(const BitVec& word, std::vector<gf::Elem>& s) const;
+  bool syndromes_optimized(const BitVec& word, std::vector<gf::Elem>& s) const;
+
+  /// Chien search: collect the polynomial positions p with C(alpha^-p) == 0.
+  /// `limit` bounds how many roots the caller can use (locator degree L);
+  /// both implementations return the same positions in increasing order.
+  std::vector<std::size_t> chien_reference(const std::vector<gf::Elem>& C,
+                                           unsigned limit) const;
+  std::vector<std::size_t> chien_optimized(const std::vector<gf::Elem>& C,
+                                           unsigned limit) const;
 
   gf::Field field_;
   unsigned t_;
   unsigned data_bits_;
   unsigned parity_bits_;
+  KernelMode mode_;
   gf::Poly gen_;
   /// gen_ coefficients as a packed bitmask for the LFSR encoder.
   std::vector<std::uint8_t> gen_bits_;
+  /// Optimized-syndrome tables: for each odd k in [1, 2t], alpha^(pos * k)
+  /// for every polynomial position pos in [0, n). Row r covers k = 2r + 1;
+  /// even syndromes are derived by squaring. ~t * n * 4 bytes (32 KiB for
+  /// the paper's BCH-8 over GF(2^10)). Empty in reference mode.
+  std::vector<gf::Elem> syn_pow_;
 };
 
 }  // namespace rd::ecc

@@ -39,20 +39,24 @@ Field::Field(unsigned m) : m_(m) {
     x <<= 1;
     if (x & size_) x ^= prim_;
   }
-  // Duplicate the table so mul can skip one modulo; kept the modulo anyway
-  // for clarity but the duplication also serves alpha_pow.
+  // Duplicate the table: any exponent in [0, 2*order) resolves with a
+  // plain lookup, so mul/div/inv/sqr never pay a modulo.
   for (std::uint32_t i = 0; i < order(); ++i) exp_[order() + i] = exp_[i];
 }
 
 Elem Field::div(Elem a, Elem b) const {
   RD_CHECK(b != 0);
   if (a == 0) return 0;
-  return exp_[(log_[a] + order() - log_[b]) % order()];
+  // log_[a] + order - log_[b] is in [1, 2*order - 1): inside the doubled
+  // exp table.
+  return exp_[log_[a] + order() - log_[b]];
 }
 
 Elem Field::inv(Elem a) const {
   RD_CHECK(a != 0);
-  return exp_[(order() - log_[a]) % order()];
+  // order - log_[a] is in [1, order]: inside the doubled exp table (the
+  // a == 1 case lands on exp_[order] == exp_[0] == 1).
+  return exp_[order() - log_[a]];
 }
 
 Elem Field::pow(Elem a, std::int64_t k) const {

@@ -3,6 +3,13 @@
 // Substrate for the BCH codec: the 512-bit MLC PCM line uses a BCH code over
 // GF(2^10) (n = 1023 shortened to 592). Fields for m in [3, 14] are
 // supported with standard primitive polynomials.
+//
+// Performance note (DESIGN.md §10): the exp table is stored doubled
+// (length 2 * order), so mul / div / inv / sqr are a table add plus one
+// lookup with no modulo — the BCH syndrome and Chien kernels lean on this.
+// All operations are pure functions of their arguments and the field size:
+// deterministic, thread-safe after construction, and identical across
+// kernel modes (the Field itself has no reference/optimized split).
 #pragma once
 
 #include <cstdint>
@@ -19,9 +26,11 @@ using Elem = std::uint32_t;
 /// multiplicative identity, and `alpha()` a primitive element.
 class Field {
  public:
-  /// Construct GF(2^m). Requires 3 <= m <= 14.
+  /// Construct GF(2^m). Requires 3 <= m <= 14. O(2^m) table build; a
+  /// constructed Field is immutable and safe to share across threads.
   explicit Field(unsigned m);
 
+  /// Field degree m (elements are m-bit polynomials).
   unsigned m() const { return m_; }
   /// Field size 2^m.
   std::uint32_t size() const { return size_; }
@@ -33,9 +42,18 @@ class Field {
   /// Addition == subtraction == XOR in characteristic 2.
   static Elem add(Elem a, Elem b) { return a ^ b; }
 
+  /// a * b. The log sum is at most 2 * order - 2, inside the doubled exp
+  /// table, so no reduction is needed.
   Elem mul(Elem a, Elem b) const {
     if (a == 0 || b == 0) return 0;
-    return exp_[(log_[a] + log_[b]) % order()];
+    return exp_[log_[a] + log_[b]];
+  }
+
+  /// a^2. Exact (the Frobenius map); one lookup, no branch on a != 0
+  /// beyond the zero guard. sqr(a) == mul(a, a) for every a.
+  Elem sqr(Elem a) const {
+    if (a == 0) return 0;
+    return exp_[2 * log_[a]];
   }
 
   /// a / b. Requires b != 0.
@@ -51,7 +69,14 @@ class Field {
   /// alpha^k (k taken mod the group order; negative allowed).
   Elem alpha_pow(std::int64_t k) const;
 
-  /// Discrete log base alpha. Requires a != 0.
+  /// alpha^k for k already reduced to [0, 2 * order): a single table
+  /// lookup with no modulo. The fast-path sibling of alpha_pow for kernels
+  /// that maintain reduced exponents themselves (BCH syndrome tables,
+  /// incremental Chien search).
+  Elem alpha_pow_reduced(std::uint32_t k) const { return exp_[k]; }
+
+  /// Discrete log base alpha. Requires a != 0. Inverse of alpha_pow on
+  /// [0, order).
   std::uint32_t log(Elem a) const;
 
   /// The primitive polynomial used for this m (bits, degree m term

@@ -23,20 +23,44 @@ void Cell::program(std::size_t level, double t_write_seconds, Rng& rng,
   }
 }
 
-double Cell::metric_at(double t_seconds,
-                       const drift::MetricConfig& cfg) const {
+double Cell::metric_at_logt(double log_t_ratio,
+                            const drift::MetricConfig& cfg) const {
   const drift::StateParams& sp = cfg.states[level_];
   const double x0 = sp.mu + z_program_ * sp.sigma;
   const double alpha = sp.mu_alpha + z_alpha_ * sp.sigma_alpha;
+  return x0 + alpha * log_t_ratio;
+}
+
+double Cell::metric_programmed(const drift::MetricConfig& cfg) const {
+  const drift::StateParams& sp = cfg.states[level_];
+  return sp.mu + z_program_ * sp.sigma;
+}
+
+double Cell::metric_at(double t_seconds,
+                       const drift::MetricConfig& cfg) const {
   const double age = t_seconds - t_write_;
-  if (age <= cfg.t0_seconds) return x0;
-  return x0 + alpha * std::log10(age / cfg.t0_seconds);
+  if (age <= cfg.t0_seconds) return metric_programmed(cfg);
+  return metric_at_logt(std::log10(age / cfg.t0_seconds), cfg);
 }
 
 void Cell::set_stuck(std::size_t level) {
   RD_CHECK(level < drift::kNumStates);
   stuck_ = true;
   stuck_level_ = level;
+}
+
+std::size_t Cell::level_from_metric(double x,
+                                    const drift::MetricConfig& cfg) {
+  // Two-round reference comparison (Ref2 then Ref1/Ref3); equivalent to
+  // locating x among the three upper boundaries.
+  std::size_t level = drift::kNumStates - 1;
+  for (std::size_t i = 0; i + 1 < drift::kNumStates; ++i) {
+    if (x <= cfg.upper_boundary(i)) {
+      level = i;
+      break;
+    }
+  }
+  return level;
 }
 
 std::size_t Cell::read_level(double t_seconds,
@@ -49,16 +73,17 @@ std::size_t Cell::read_level(double t_seconds,
                              double metric_offset) const {
   if (stuck_) return stuck_level_;
   const double x = metric_at(t_seconds, cfg) + metric_offset;
-  // Two-round reference comparison (Ref2 then Ref1/Ref3); equivalent to
-  // locating x among the three upper boundaries.
-  std::size_t level = drift::kNumStates - 1;
-  for (std::size_t i = 0; i + 1 < drift::kNumStates; ++i) {
-    if (x <= cfg.upper_boundary(i)) {
-      level = i;
-      break;
-    }
-  }
-  return level;
+  return level_from_metric(x, cfg);
+}
+
+std::size_t Cell::read_level_logt(bool drifted, double log_t_ratio,
+                                  const drift::MetricConfig& cfg,
+                                  double metric_offset) const {
+  if (stuck_) return stuck_level_;
+  const double x =
+      (drifted ? metric_at_logt(log_t_ratio, cfg) : metric_programmed(cfg)) +
+      metric_offset;
+  return level_from_metric(x, cfg);
 }
 
 }  // namespace rd::pcm

@@ -1,15 +1,17 @@
 #include "pcm/chip.h"
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "faults/injector.h"
 
 namespace rd::pcm {
 
 MlcChip::MlcChip(ChipConfig cfg)
     : cfg_(cfg),
+      mode_(resolve_kernel_mode(cfg.kernels)),
       r_cfg_(drift::r_metric()),
       m_cfg_(drift::m_metric()),
-      bch_(/*m=*/10, cfg.bch_t, cfg.data_bytes * 8),
+      bch_(/*m=*/10, cfg.bch_t, cfg.data_bytes * 8, mode_),
       rng_(cfg.seed),
       faults_(cfg.faults != nullptr ? cfg.faults : faults::engine()),
       next_scrub_s_(cfg.scrub_interval_s) {
@@ -62,16 +64,31 @@ std::vector<std::uint8_t> MlcChip::extract(const BitVec& codeword) const {
 BitVec MlcChip::sense(const LineSlot& slot, const drift::MetricConfig& cfg,
                       std::size_t line, bool r_path) {
   const std::uint64_t serial = sense_serial_++;
-  // Raw cell readout...
+  // Raw cell readout: injected transients are gathered per cell (the
+  // fault serial advances identically in both kernel modes), then the
+  // whole line is sensed through the batched kernel — or cell by cell on
+  // the reference path. Levels are bit-identical either way.
   std::vector<std::uint8_t> values(slot.cells.num_cells());
-  for (std::size_t c = 0; c < values.size(); ++c) {
-    double offset = 0.0;
-    if (faults_ != nullptr && r_path) {
-      offset = faults_->sense_offset(line, c, serial);
-      if (offset != 0.0) ++stats_.injected_faults;
+  std::vector<double> offsets;
+  if (faults_ != nullptr && r_path) {
+    offsets.resize(values.size(), 0.0);
+    for (std::size_t c = 0; c < values.size(); ++c) {
+      offsets[c] = faults_->sense_offset(line, c, serial);
+      if (offsets[c] != 0.0) ++stats_.injected_faults;
     }
-    values[c] = drift::kLevelData[slot.cells.cells()[c].read_level(
-        now_s_, cfg, offset)];
+  }
+  if (mode_ == KernelMode::kReference) {
+    for (std::size_t c = 0; c < values.size(); ++c) {
+      values[c] = drift::kLevelData[slot.cells.cells()[c].read_level(
+          now_s_, cfg, offsets.empty() ? 0.0 : offsets[c])];
+    }
+  } else {
+    slot.cells.read_levels(now_s_, cfg,
+                           offsets.empty() ? nullptr : offsets.data(),
+                           values.data());
+    for (std::size_t c = 0; c < values.size(); ++c) {
+      values[c] = drift::kLevelData[values[c]];
+    }
   }
   // ...with ECP supplying retired cells' true values.
   slot.ecp.patch(values);

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "drift/metric.h"
 #include "ecc/bch.h"
@@ -48,6 +49,9 @@ struct ChipConfig {
   std::uint64_t seed = 1;
   /// Fault injector; nullptr defers to the process-wide faults::engine().
   const faults::FaultEngine* faults = nullptr;
+  /// Kernel implementation for the chip's BCH codec and line sensing
+  /// (kAuto: READDUO_KERNELS). Reads are bit-identical across modes.
+  KernelMode kernels = KernelMode::kAuto;
 };
 
 /// Outcome of a functional read.
@@ -123,6 +127,8 @@ class MlcChip {
   void run_scrub_pass();
 
   ChipConfig cfg_;
+  /// cfg_.kernels with kAuto resolved at construction.
+  KernelMode mode_;
   drift::MetricConfig r_cfg_;
   drift::MetricConfig m_cfg_;
   ecc::BchCode bch_;

@@ -1,5 +1,7 @@
 #include "pcm/line.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace rd::pcm {
@@ -65,21 +67,69 @@ std::size_t MlcLine::refresh_drifted(double t_seconds, Rng& rng,
   return refreshed;
 }
 
-BitVec MlcLine::read(double t_seconds, const drift::MetricConfig& cfg) const {
-  BitVec out(num_bits());
+void MlcLine::read_levels(double t_seconds, const drift::MetricConfig& cfg,
+                          const double* offsets,
+                          std::uint8_t* out_levels) const {
+  // Hoist the drift law's log10: cells programmed at the same instant (a
+  // full write, or each run of a differential write) share one
+  // log10(age / t0). The cached value is exactly what the scalar path
+  // would compute, so levels are bit-identical to per-cell read_level.
+  bool have_cached = false;
+  double cached_tw = 0.0;
+  bool cached_drifted = false;
+  double cached_logt = 0.0;
   for (std::size_t c = 0; c < cells_.size(); ++c) {
-    const std::size_t level = cells_[c].read_level(t_seconds, cfg);
-    const std::uint8_t data = drift::kLevelData[level];
+    const Cell& cell = cells_[c];
+    const double tw = cell.write_time();
+    if (!have_cached || tw != cached_tw) {
+      const double age = t_seconds - tw;
+      cached_drifted = age > cfg.t0_seconds;
+      cached_logt =
+          cached_drifted ? std::log10(age / cfg.t0_seconds) : 0.0;
+      cached_tw = tw;
+      have_cached = true;
+    }
+    out_levels[c] = static_cast<std::uint8_t>(cell.read_level_logt(
+        cached_drifted, cached_logt, cfg, offsets != nullptr ? offsets[c] : 0.0));
+  }
+}
+
+BitVec MlcLine::read(double t_seconds, const drift::MetricConfig& cfg,
+                     KernelMode mode) const {
+  BitVec out(num_bits());
+  if (resolve_kernel_mode(mode) == KernelMode::kReference) {
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      const std::size_t level = cells_[c].read_level(t_seconds, cfg);
+      const std::uint8_t data = drift::kLevelData[level];
+      out.set(2 * c, (data >> 1) & 1);
+      out.set(2 * c + 1, data & 1);
+    }
+    return out;
+  }
+  std::vector<std::uint8_t> levels(cells_.size());
+  read_levels(t_seconds, cfg, nullptr, levels.data());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const std::uint8_t data = drift::kLevelData[levels[c]];
     out.set(2 * c, (data >> 1) & 1);
     out.set(2 * c + 1, data & 1);
   }
   return out;
 }
 
-std::size_t MlcLine::count_drift_errors(
-    double t_seconds, const drift::MetricConfig& cfg) const {
+std::size_t MlcLine::count_drift_errors(double t_seconds,
+                                        const drift::MetricConfig& cfg,
+                                        KernelMode mode) const {
+  if (resolve_kernel_mode(mode) == KernelMode::kReference) {
+    std::size_t n = 0;
+    for (const Cell& c : cells_) n += c.drift_error(t_seconds, cfg) ? 1 : 0;
+    return n;
+  }
+  std::vector<std::uint8_t> levels(cells_.size());
+  read_levels(t_seconds, cfg, nullptr, levels.data());
   std::size_t n = 0;
-  for (const Cell& c : cells_) n += c.drift_error(t_seconds, cfg) ? 1 : 0;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    n += levels[c] != cells_[c].programmed_level() ? 1 : 0;
+  }
   return n;
 }
 

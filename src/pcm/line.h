@@ -2,12 +2,22 @@
 // codeword (512 data + 80 parity), with full and differential writes and
 // metric-based readout. This is the device-level ground truth the
 // Monte-Carlo reliability experiments run on.
+//
+// Performance note (DESIGN.md §10): whole-line readout is a hot kernel
+// (every chip read, scrub pass, and Figure 6 sweep senses all 296 cells at
+// one instant). The batched read_levels path computes log10(age / t0)
+// once per distinct write time instead of once per cell — after a full
+// write that is one log10 for the whole line; after differential writes,
+// one per run of same-age cells. Selectable vs the straight per-cell
+// reference via KernelMode; outputs are bit-identical (the batch calls the
+// same Cell arithmetic with the hoisted operand).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "pcm/cell.h"
 
@@ -52,11 +62,24 @@ class MlcLine {
                               const drift::MetricConfig& cfg);
 
   /// Sense all cells at time t under `cfg` and return the bit image.
-  BitVec read(double t_seconds, const drift::MetricConfig& cfg) const;
+  /// `mode` selects the batched or per-cell kernel (kAuto:
+  /// READDUO_KERNELS); the image is bit-identical either way.
+  BitVec read(double t_seconds, const drift::MetricConfig& cfg,
+              KernelMode mode = KernelMode::kAuto) const;
+
+  /// Sense all cells at time t under `cfg` into `out_levels` (size
+  /// num_cells). `offsets`, when non-null, applies per-cell additive
+  /// metric disturbances (the READDUO_FAULTS "sense" seam; stuck cells
+  /// ignore theirs). This is the batched kernel behind read() and the
+  /// chip's sense path: one log10 per distinct cell age, not per cell.
+  void read_levels(double t_seconds, const drift::MetricConfig& cfg,
+                   const double* offsets, std::uint8_t* out_levels) const;
 
   /// Number of cells that would be misread at time t under `cfg`.
+  /// Dispatches like read().
   std::size_t count_drift_errors(double t_seconds,
-                                 const drift::MetricConfig& cfg) const;
+                                 const drift::MetricConfig& cfg,
+                                 KernelMode mode = KernelMode::kAuto) const;
 
   /// The codeword most recently programmed (for test oracles).
   const BitVec& programmed_bits() const { return programmed_; }

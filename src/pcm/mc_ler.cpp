@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/kernels.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 
@@ -27,13 +28,23 @@ double McLerResult::stderr_() const {
 McLerResult mc_ler(const drift::MetricConfig& config,
                    const drift::LineGeometry& geometry,
                    unsigned e, double t_seconds, std::uint64_t lines,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, KernelMode mode) {
   McLerResult result;
   result.lines = lines;
   if (lines == 0) return result;
   const unsigned cells = geometry.total_cells();
   const std::uint64_t shards = (lines + kShardLines - 1) / kShardLines;
   std::vector<std::uint64_t> shard_failures(shards, 0);
+  // Every sampled cell is written at t = 0 and read at the same
+  // t_seconds, so the drift law's log10(t / t0) is one value for the
+  // whole population: the optimized kernel hoists it out of the
+  // cells-per-line loop (the RNG draw sequence is untouched, so the
+  // count is bit-identical to the per-cell reference path — enforced by
+  // tests/test_kernels.cpp and the THREADS sweep).
+  const bool optimized = resolve_kernel_mode(mode) != KernelMode::kReference;
+  const bool drifted = t_seconds > config.t0_seconds;
+  const double log_t_ratio =
+      drifted ? std::log10(t_seconds / config.t0_seconds) : 0.0;
   parallel_for_shards(shards, [&](std::size_t shard) {
     Rng rng(seed, shard);
     const std::uint64_t begin = static_cast<std::uint64_t>(shard) * kShardLines;
@@ -44,7 +55,12 @@ McLerResult mc_ler(const drift::MetricConfig& config,
       for (unsigned c = 0; c < cells && errors <= e; ++c) {
         Cell cell;
         cell.program(rng.uniform_below(drift::kNumStates), 0.0, rng, config);
-        errors += cell.drift_error(t_seconds, config) ? 1 : 0;
+        const bool err =
+            optimized
+                ? cell.read_level_logt(drifted, log_t_ratio, config, 0.0) !=
+                      cell.programmed_level()
+                : cell.drift_error(t_seconds, config);
+        errors += err ? 1 : 0;
       }
       if (errors > e) ++failures;
     }

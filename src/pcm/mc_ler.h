@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/kernels.h"
 #include "drift/error_model.h"
 #include "pcm/cell.h"
 
@@ -34,10 +35,13 @@ struct McLerResult {
 /// errors. The population is sharded over the READDUO_THREADS pool in
 /// fixed-size blocks with per-shard Rng(seed, shard) streams and an
 /// ordered reduction, so the result is a pure function of the arguments:
-/// bit-identical for every thread count (enforced by test_parallel).
+/// bit-identical for every thread count (enforced by test_parallel) and
+/// for every kernel mode (`mode` kAuto: READDUO_KERNELS; the optimized
+/// kernel hoists the shared log10(t / t0) out of the cell loop —
+/// enforced by test_kernels).
 McLerResult mc_ler(const drift::MetricConfig& config,
                    const drift::LineGeometry& geometry,
                    unsigned e, double t_seconds, std::uint64_t lines,
-                   std::uint64_t seed);
+                   std::uint64_t seed, KernelMode mode = KernelMode::kAuto);
 
 }  // namespace rd::pcm
