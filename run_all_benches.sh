@@ -8,21 +8,41 @@
 # final summary.
 #
 # READDUO_BENCH_JSON=path additionally writes a machine-readable summary:
-# per-bench wall-clock, the Kernel_*_{ref,opt} pairs bench_micro times for
-# every rewritten hot-path kernel (DESIGN.md §10) with their serial
-# speedups, host core count, and whether bench_cache/ was warm. BENCH_pr5.json
-# was produced this way.
+# per-bench wall-clock, the Kernel_*_{ref,opt,vec} triples bench_micro
+# times for every rewritten hot-path kernel (DESIGN.md §10) with their
+# serial speedups, the kernel tier and SIMD level the _vec rows actually
+# dispatched to, host core count, whether bench_cache/ was warm, and a
+# thread-scaling curve (bench_fig6 wall-clock at READDUO_THREADS in
+# {1,2,4,8}, capped at the host core count, cache disabled so every point
+# recomputes). BENCH_pr6.json was produced this way.
+#
+# READDUO_BENCH_COMPARE=<baseline.json> gates the run on the perf budget:
+# after writing READDUO_BENCH_JSON (required), the kernels_ns sections of
+# baseline and fresh summary are diffed with tools/bench_compare, and any
+# kernel metric more than 10% slower fails the script.
 set -e
 cd "$(dirname "$0")"
 
 now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
 
 json_out=${READDUO_BENCH_JSON:-}
+compare_base=${READDUO_BENCH_COMPARE:-}
+if [ -n "$compare_base" ]; then
+  if [ -z "$json_out" ]; then
+    echo "READDUO_BENCH_COMPARE needs READDUO_BENCH_JSON=<path> set too" >&2
+    exit 1
+  fi
+  if [ ! -f "$compare_base" ]; then
+    echo "READDUO_BENCH_COMPARE baseline not found: $compare_base" >&2
+    exit 1
+  fi
+fi
 
 harness_log=$(mktemp)
 bench_times=$(mktemp)
 kernel_json=$(mktemp)
-trap 'rm -f "$harness_log" "$bench_times" "$kernel_json"' EXIT
+scaling_times=$(mktemp)
+trap 'rm -f "$harness_log" "$bench_times" "$kernel_json" "$scaling_times"' EXIT
 
 # Record the cache state before the sweep touches it: a warm bench_cache/
 # replays the heavy sims, so the per-bench numbers mean something different.
@@ -59,6 +79,24 @@ total_end=$(now_ms)
 echo "===== total wall-clock: $(( total_end - total_start )) ms" \
      "(READDUO_THREADS=${READDUO_THREADS:-auto})"
 
+# Thread-scaling curve for the JSON summary: re-run one representative
+# full-system sweep at fixed widths. The cache is disabled so every point
+# pays the whole simulation; widths above the core count are skipped
+# (they would measure oversubscription noise, not scaling).
+if [ -n "$json_out" ]; then
+  scaling_bench=bench_fig6
+  for t in 1 2 4 8; do
+    if [ "$t" -gt "$(nproc)" ]; then continue; fi
+    echo "##### thread scaling: $scaling_bench READDUO_THREADS=$t #####"
+    scale_start=$(now_ms)
+    READDUO_CACHE=0 READDUO_THREADS=$t "./build/bench/$scaling_bench" \
+        > /dev/null
+    scale_end=$(now_ms)
+    echo "----- $scaling_bench threads=$t: $(( scale_end - scale_start )) ms"
+    echo "$t $(( scale_end - scale_start ))" >> "$scaling_times"
+  done
+fi
+
 # Roll up the harness self-metrics every bench printed at exit.
 awk '
   /^== harness:/ {
@@ -87,7 +125,9 @@ if [ -n "$json_out" ]; then
       -v instr="${READDUO_INSTR:-default}" \
       -v date="$(date +%Y-%m-%d)" \
       -v benchfile="$bench_times" \
-      -v kernelfile="$kernel_json" '
+      -v kernelfile="$kernel_json" \
+      -v scalingfile="$scaling_times" \
+      -v scalingbench="bench_fig6" '
   BEGIN {
     # Per-bench wall-clock, in run order.
     npb = 0
@@ -96,11 +136,25 @@ if [ -n "$json_out" ]; then
       pb[++npb] = a[1]
       pbms[a[1]] = a[2]
     }
-    # Kernel_<name>_{ref,opt} real_time pairs from the google-benchmark
-    # JSON report (bench_micro registers one pair per rewritten kernel).
-    name = ""; nk = 0
+    # Thread-scaling wall-clock points (threads, ms), in run order.
+    nsc = 0
+    while ((getline line < scalingfile) > 0) {
+      split(line, a, " ")
+      sct[++nsc] = a[1]
+      scms[a[1]] = a[2]
+    }
+    # Kernel_<name>_{ref,opt,vec} real_time entries plus the custom
+    # context keys (active tier / SIMD level) from the google-benchmark
+    # JSON report. bench_micro registers one triple per rewritten kernel.
+    name = ""; nk = 0; tier = "unknown"; simd = "unknown"
     while ((getline line < kernelfile) > 0) {
-      if (line ~ /^ *"name":/) {
+      if (line ~ /"readduo_kernels":/) {
+        gsub(/.*"readduo_kernels": "/, "", line); gsub(/".*/, "", line)
+        tier = line
+      } else if (line ~ /"readduo_simd":/) {
+        gsub(/.*"readduo_simd": "/, "", line); gsub(/".*/, "", line)
+        simd = line
+      } else if (line ~ /^ *"name":/) {
         gsub(/.*"name": "/, "", line); gsub(/".*/, "", line)
         name = line
       } else if (line ~ /^ *"real_time":/ && name ~ /^Kernel_/) {
@@ -111,6 +165,7 @@ if [ -n "$json_out" ]; then
           opt[k] = line + 0
           if (!(k in seen)) { seen[k] = 1; order[++nk] = k }
         }
+        else if (name ~ /_vec$/) { vec[k] = line + 0; hasvec[k] = 1 }
         name = ""
       }
     }
@@ -125,14 +180,37 @@ if [ -n "$json_out" ]; then
       printf "    \"%s\": %d%s\n", pb[i], pbms[pb[i]], i < npb ? "," : ""
     }
     printf "  },\n"
+    printf "  \"thread_scaling\": {\n"
+    printf "    \"bench\": \"%s\",\n", scalingbench
+    printf "    \"wall_ms\": {"
+    for (i = 1; i <= nsc; ++i) {
+      printf "\"%s\": %d%s", sct[i], scms[sct[i]], i < nsc ? ", " : ""
+    }
+    printf "}\n"
+    printf "  },\n"
+    printf "  \"kernel_env\": {\"tier\": \"%s\", \"simd\": \"%s\"},\n", \
+           tier, simd
     printf "  \"kernels_ns\": {\n"
     for (i = 1; i <= nk; ++i) {
       k = order[i]
-      printf "    \"%s\": {\"ref\": %.0f, \"opt\": %.0f, \"speedup\": %.2f}%s\n", \
-             k, ref[k], opt[k], ref[k] / opt[k], i < nk ? "," : ""
+      printf "    \"%s\": {\"ref\": %.0f, \"opt\": %.0f", k, ref[k], opt[k]
+      if (k in hasvec) printf ", \"vec\": %.0f", vec[k]
+      printf ", \"speedup\": %.2f", ref[k] / opt[k]
+      if (k in hasvec) printf ", \"speedup_vec\": %.2f", ref[k] / vec[k]
+      printf "}%s\n", i < nk ? "," : ""
     }
     printf "  }\n"
     printf "}\n"
   }' > "$json_out"
   echo "===== wrote $json_out"
+fi
+
+# Opt-in perf gate: fail the sweep if any kernel metric regressed by more
+# than 10% against the named baseline summary.
+if [ -n "$compare_base" ]; then
+  echo "===== perf gate: comparing $json_out against $compare_base"
+  if ! ./build/tools/bench_compare "$compare_base" "$json_out"; then
+    echo "===== perf gate FAILED (see bench_compare output above)" >&2
+    exit 1
+  fi
 fi

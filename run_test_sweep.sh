@@ -14,6 +14,13 @@
 #      kernel-equivalence suite: clean-run outputs must stay bit-identical
 #      when every optimized hot-path kernel (DESIGN.md §10) is swapped for
 #      its straight-line reference implementation.
+#   4. The same pair under READDUO_KERNELS=vector, twice: once with native
+#      SIMD dispatch and once forced to the scalar fallback
+#      (READDUO_SIMD=scalar), so the vectorized tier's decisions stay
+#      bit-identical whatever the host CPU offers (DESIGN.md §10.5).
+#   5. A READDUO_BENCH_FAST=1 smoke run of bench_micro: every registered
+#      microbench (including the _vec rows) must still execute; the
+#      numbers are sampled for milliseconds and thrown away.
 #
 # Usage: ./run_test_sweep.sh [build-dir] [ctest -R regex]
 #   (default: build, all tests)
@@ -56,6 +63,23 @@ for bin in test_golden test_kernels; do
   READDUO_KERNELS=reference "$BUILD/tests/$bin" --gtest_brief=1 \
     || failures=$((failures + 1))
 done
+
+step "vector tier bit-identity: READDUO_KERNELS=vector, native and scalar"
+for bin in test_golden test_kernels; do
+  echo "-- $bin (READDUO_KERNELS=vector)"
+  READDUO_KERNELS=vector "$BUILD/tests/$bin" --gtest_brief=1 \
+    || failures=$((failures + 1))
+  echo "-- $bin (READDUO_KERNELS=vector READDUO_SIMD=scalar)"
+  READDUO_KERNELS=vector READDUO_SIMD=scalar "$BUILD/tests/$bin" \
+    --gtest_brief=1 || failures=$((failures + 1))
+done
+
+step "microbench smoke: bench_micro under READDUO_BENCH_FAST=1"
+if [ ! -x "$BUILD/bench/bench_micro" ]; then
+  cmake --build "$BUILD" --target bench_micro -j || exit 1
+fi
+READDUO_BENCH_FAST=1 "$BUILD/bench/bench_micro" > /dev/null \
+  || failures=$((failures + 1))
 
 step "test sweep: $failures failing stage(s)"
 exit "$((failures > 0))"

@@ -1,0 +1,207 @@
+// AVX2 bodies of the kVectorized lane kernels (see simd_kernels.h).
+//
+// This is the only TU compiled with -mavx2 (plus -ffp-contract=off), so
+// AVX2 encodings cannot leak into code that runs before the runtime
+// dispatch check. When the toolchain cannot compile AVX2 (CMake's flag
+// probe failed, non-x86 target), the bodies below become RD_CHECK stubs
+// and have_avx2_kernels() reports false, so simd_level() never routes
+// here.
+#include "common/simd_kernels.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace rd::simd {
+
+#if defined(__AVX2__)
+
+bool have_avx2_kernels() { return true; }
+
+namespace {
+/// Accumulator / term caps keep the hot state in registers; generous next
+/// to the paper's BCH-8 (stride 8, <= 9 locator terms).
+constexpr std::size_t kMaxChunks = 4;   // stride <= 32 syndrome lanes
+constexpr std::size_t kMaxTerms = 33;   // locator degree <= t <= 32
+}  // namespace
+
+void bch_syndrome_acc_avx2(const std::uint64_t* words, std::size_t nbits,
+                           unsigned data_bits, unsigned parity_bits,
+                           const std::uint32_t* table, std::size_t stride,
+                           std::uint32_t* acc) {
+  RD_CHECK(stride % 8 == 0 && stride / 8 <= kMaxChunks);
+  const std::size_t chunks = stride / 8;
+  __m256i accv[kMaxChunks];
+  for (std::size_t k = 0; k < chunks; ++k) accv[k] = _mm256_setzero_si256();
+  const std::size_t nwords = (nbits + 63) / 64;
+  for (std::size_t wi = 0; wi < nwords; ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const std::size_t bit =
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      const std::size_t pos =
+          bit < data_bits ? parity_bits + bit : bit - data_bits;
+      const std::uint32_t* row = table + pos * stride;
+      for (std::size_t k = 0; k < chunks; ++k) {
+        accv[k] = _mm256_xor_si256(
+            accv[k], _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i*>(row + 8 * k)));
+      }
+    }
+  }
+  for (std::size_t k = 0; k < chunks; ++k) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 8 * k), accv[k]);
+  }
+}
+
+std::size_t bch_chien_scan_avx2(const std::uint32_t* exp_table,
+                                std::uint32_t n, const std::uint32_t* step,
+                                const std::uint32_t* expo, std::size_t terms,
+                                std::uint32_t scan, std::size_t limit,
+                                std::size_t* out_positions) {
+  RD_CHECK(terms <= kMaxTerms);
+  // Lane j of term i holds the reduced exponent of position p + j; one
+  // block advances every lane by 8 positions (exponent += 8 * step mod n).
+  __m256i expv[kMaxTerms];
+  __m256i stepv[kMaxTerms];
+  for (std::size_t i = 0; i < terms; ++i) {
+    alignas(32) std::uint32_t lanes[8];
+    std::uint64_t e = expo[i];
+    for (int j = 0; j < 8; ++j) {
+      lanes[j] = static_cast<std::uint32_t>(e);
+      e += step[i];
+      if (e >= n) e -= n;
+    }
+    expv[i] = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+    const std::uint32_t step8 =
+        static_cast<std::uint32_t>((8ull * step[i]) % n);
+    stepv[i] = _mm256_set1_epi32(static_cast<int>(step8));
+  }
+  const __m256i nv = _mm256_set1_epi32(static_cast<int>(n));
+  const __m256i n_minus_1 = _mm256_set1_epi32(static_cast<int>(n) - 1);
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t found = 0;
+  for (std::uint32_t p = 0; p < scan; p += 8) {
+    __m256i acc = zero;
+    for (std::size_t i = 0; i < terms; ++i) {
+      // Masked all-lanes gather: the plain variant starts from an
+      // _mm256_undefined_si256 source, which -Wmaybe-uninitialized flags.
+      acc = _mm256_xor_si256(
+          acc, _mm256_mask_i32gather_epi32(
+                   zero, reinterpret_cast<const int*>(exp_table), expv[i],
+                   _mm256_set1_epi32(-1), 4));
+      // Step to the next block's exponents: e + step8, one conditional
+      // subtract keeps e in [0, n) (exponents stay below 2n).
+      __m256i e = _mm256_add_epi32(expv[i], stepv[i]);
+      const __m256i wrap = _mm256_cmpgt_epi32(e, n_minus_1);
+      expv[i] = _mm256_sub_epi32(e, _mm256_and_si256(wrap, nv));
+    }
+    int zmask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(acc, zero)));
+    while (zmask != 0) {
+      const int j = std::countr_zero(static_cast<unsigned>(zmask));
+      zmask &= zmask - 1;
+      const std::uint32_t root = p + static_cast<std::uint32_t>(j);
+      if (root >= scan) break;  // tail lanes past the shortened region
+      out_positions[found++] = root;
+      if (found == limit) return found;
+    }
+  }
+  return found;
+}
+
+void drift_levels_avx2(std::size_t n, const std::int32_t* level,
+                       const double* z_program, const double* z_alpha,
+                       const double* log_t, const double* offsets,
+                       const double* params, std::uint8_t* out_levels) {
+  const double* mu = params;
+  const double* sigma = params + 4;
+  const double* mu_alpha = params + 8;
+  const double* sigma_alpha = params + 12;
+  const __m256d b0 = _mm256_set1_pd(params[16]);
+  const __m256d b1 = _mm256_set1_pd(params[17]);
+  const __m256d b2 = _mm256_set1_pd(params[18]);
+  const __m256d dzero = _mm256_setzero_pd();
+  const __m256d dmask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(-1));  // gather all lanes
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    const __m128i lvl =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(level + c));
+    // Masked all-lanes gathers: the plain variant starts from an
+    // _mm256_undefined_pd source, which -Wmaybe-uninitialized flags.
+    const __m256d vmu = _mm256_mask_i32gather_pd(dzero, mu, lvl, dmask, 8);
+    const __m256d vsg = _mm256_mask_i32gather_pd(dzero, sigma, lvl, dmask, 8);
+    const __m256d vma =
+        _mm256_mask_i32gather_pd(dzero, mu_alpha, lvl, dmask, 8);
+    const __m256d vsa =
+        _mm256_mask_i32gather_pd(dzero, sigma_alpha, lvl, dmask, 8);
+    const __m256d zp = _mm256_loadu_pd(z_program + c);
+    const __m256d za = _mm256_loadu_pd(z_alpha + c);
+    const __m256d lt = _mm256_loadu_pd(log_t + c);
+    // Same unfused expression tree as Cell::metric_at_logt:
+    //   x = (mu + zp * sigma) + (mu_alpha + za * sigma_alpha) * log_t
+    const __m256d x0 = _mm256_add_pd(vmu, _mm256_mul_pd(zp, vsg));
+    const __m256d alpha = _mm256_add_pd(vma, _mm256_mul_pd(za, vsa));
+    __m256d x = _mm256_add_pd(x0, _mm256_mul_pd(alpha, lt));
+    if (offsets != nullptr) {
+      x = _mm256_add_pd(x, _mm256_loadu_pd(offsets + c));
+    }
+    // level = #{j : x > b_j}; each GT mask is integer -1, so summing the
+    // three masks and negating yields 0..3 (boundaries are monotone).
+    const __m256i m0 = _mm256_castpd_si256(_mm256_cmp_pd(x, b0, _CMP_GT_OQ));
+    const __m256i m1 = _mm256_castpd_si256(_mm256_cmp_pd(x, b1, _CMP_GT_OQ));
+    const __m256i m2 = _mm256_castpd_si256(_mm256_cmp_pd(x, b2, _CMP_GT_OQ));
+    const __m256i sum =
+        _mm256_add_epi64(m0, _mm256_add_epi64(m1, m2));
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), sum);
+    out_levels[c + 0] = static_cast<std::uint8_t>(-lanes[0]);
+    out_levels[c + 1] = static_cast<std::uint8_t>(-lanes[1]);
+    out_levels[c + 2] = static_cast<std::uint8_t>(-lanes[2]);
+    out_levels[c + 3] = static_cast<std::uint8_t>(-lanes[3]);
+  }
+  for (; c < n; ++c) {  // scalar tail, identical expression tree
+    const std::int32_t l = level[c];
+    const double x0 = mu[l] + z_program[c] * sigma[l];
+    const double alpha = mu_alpha[l] + z_alpha[c] * sigma_alpha[l];
+    double x = x0 + alpha * log_t[c];
+    if (offsets != nullptr) x += offsets[c];
+    out_levels[c] = static_cast<std::uint8_t>(
+        (x > params[16] ? 1 : 0) + (x > params[17] ? 1 : 0) +
+        (x > params[18] ? 1 : 0));
+  }
+}
+
+#else  // !defined(__AVX2__): toolchain cannot emit AVX2 — stubs only.
+
+bool have_avx2_kernels() { return false; }
+
+void bch_syndrome_acc_avx2(const std::uint64_t*, std::size_t, unsigned,
+                           unsigned, const std::uint32_t*, std::size_t,
+                           std::uint32_t*) {
+  RD_CHECK_MSG(false, "AVX2 kernels not compiled into this binary");
+}
+
+std::size_t bch_chien_scan_avx2(const std::uint32_t*, std::uint32_t,
+                                const std::uint32_t*, const std::uint32_t*,
+                                std::size_t, std::uint32_t, std::size_t,
+                                std::size_t*) {
+  RD_CHECK_MSG(false, "AVX2 kernels not compiled into this binary");
+  return 0;
+}
+
+void drift_levels_avx2(std::size_t, const std::int32_t*, const double*,
+                       const double*, const double*, const double*,
+                       const double*, std::uint8_t*) {
+  RD_CHECK_MSG(false, "AVX2 kernels not compiled into this binary");
+}
+
+#endif  // __AVX2__
+
+}  // namespace rd::simd

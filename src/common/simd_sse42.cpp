@@ -1,0 +1,127 @@
+// SSE4.2 bodies of the kVectorized lane kernels (see simd_kernels.h).
+//
+// 128-bit counterpart of simd_avx2.cpp for hosts with SSE4.2 but no AVX2:
+// 4-lane GF XOR accumulation and a 2-wide drift-metric kernel. There is
+// no SSE gather, so the Chien scan has no SSE variant — kVectorized
+// BchCode runs the scalar optimized Chien at this level. Same build
+// discipline as the AVX2 TU: the only TU compiled with -msse4.2 (plus
+// -ffp-contract=off); stubs when the toolchain cannot target it.
+#include "common/simd_kernels.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace rd::simd {
+
+#if defined(__SSE4_2__)
+
+bool have_sse42_kernels() { return true; }
+
+namespace {
+constexpr std::size_t kMaxChunks = 8;  // stride <= 32 syndrome lanes
+}  // namespace
+
+void bch_syndrome_acc_sse42(const std::uint64_t* words, std::size_t nbits,
+                            unsigned data_bits, unsigned parity_bits,
+                            const std::uint32_t* table, std::size_t stride,
+                            std::uint32_t* acc) {
+  RD_CHECK(stride % 8 == 0 && stride / 4 <= kMaxChunks);
+  const std::size_t chunks = stride / 4;
+  __m128i accv[kMaxChunks];
+  for (std::size_t k = 0; k < chunks; ++k) accv[k] = _mm_setzero_si128();
+  const std::size_t nwords = (nbits + 63) / 64;
+  for (std::size_t wi = 0; wi < nwords; ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const std::size_t bit =
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      const std::size_t pos =
+          bit < data_bits ? parity_bits + bit : bit - data_bits;
+      const std::uint32_t* row = table + pos * stride;
+      for (std::size_t k = 0; k < chunks; ++k) {
+        accv[k] = _mm_xor_si128(
+            accv[k], _mm_loadu_si128(
+                         reinterpret_cast<const __m128i*>(row + 4 * k)));
+      }
+    }
+  }
+  for (std::size_t k = 0; k < chunks; ++k) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + 4 * k), accv[k]);
+  }
+}
+
+void drift_levels_sse42(std::size_t n, const std::int32_t* level,
+                        const double* z_program, const double* z_alpha,
+                        const double* log_t, const double* offsets,
+                        const double* params, std::uint8_t* out_levels) {
+  const double* mu = params;
+  const double* sigma = params + 4;
+  const double* mu_alpha = params + 8;
+  const double* sigma_alpha = params + 12;
+  const __m128d b0 = _mm_set1_pd(params[16]);
+  const __m128d b1 = _mm_set1_pd(params[17]);
+  const __m128d b2 = _mm_set1_pd(params[18]);
+  std::size_t c = 0;
+  for (; c + 2 <= n; c += 2) {
+    const std::int32_t l0 = level[c], l1 = level[c + 1];
+    // No gather below AVX2: two scalar indexed loads per parameter.
+    const __m128d vmu = _mm_set_pd(mu[l1], mu[l0]);
+    const __m128d vsg = _mm_set_pd(sigma[l1], sigma[l0]);
+    const __m128d vma = _mm_set_pd(mu_alpha[l1], mu_alpha[l0]);
+    const __m128d vsa = _mm_set_pd(sigma_alpha[l1], sigma_alpha[l0]);
+    const __m128d zp = _mm_loadu_pd(z_program + c);
+    const __m128d za = _mm_loadu_pd(z_alpha + c);
+    const __m128d lt = _mm_loadu_pd(log_t + c);
+    // Same unfused expression tree as Cell::metric_at_logt.
+    const __m128d x0 = _mm_add_pd(vmu, _mm_mul_pd(zp, vsg));
+    const __m128d alpha = _mm_add_pd(vma, _mm_mul_pd(za, vsa));
+    __m128d x = _mm_add_pd(x0, _mm_mul_pd(alpha, lt));
+    if (offsets != nullptr) {
+      x = _mm_add_pd(x, _mm_loadu_pd(offsets + c));
+    }
+    const __m128i m0 = _mm_castpd_si128(_mm_cmpgt_pd(x, b0));
+    const __m128i m1 = _mm_castpd_si128(_mm_cmpgt_pd(x, b1));
+    const __m128i m2 = _mm_castpd_si128(_mm_cmpgt_pd(x, b2));
+    const __m128i sum = _mm_add_epi64(m0, _mm_add_epi64(m1, m2));
+    alignas(16) std::int64_t lanes[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), sum);
+    out_levels[c + 0] = static_cast<std::uint8_t>(-lanes[0]);
+    out_levels[c + 1] = static_cast<std::uint8_t>(-lanes[1]);
+  }
+  for (; c < n; ++c) {  // scalar tail, identical expression tree
+    const std::int32_t l = level[c];
+    const double x0 = mu[l] + z_program[c] * sigma[l];
+    const double alpha = mu_alpha[l] + z_alpha[c] * sigma_alpha[l];
+    double x = x0 + alpha * log_t[c];
+    if (offsets != nullptr) x += offsets[c];
+    out_levels[c] = static_cast<std::uint8_t>(
+        (x > params[16] ? 1 : 0) + (x > params[17] ? 1 : 0) +
+        (x > params[18] ? 1 : 0));
+  }
+}
+
+#else  // !defined(__SSE4_2__): toolchain cannot emit SSE4.2 — stubs only.
+
+bool have_sse42_kernels() { return false; }
+
+void bch_syndrome_acc_sse42(const std::uint64_t*, std::size_t, unsigned,
+                            unsigned, const std::uint32_t*, std::size_t,
+                            std::uint32_t*) {
+  RD_CHECK_MSG(false, "SSE4.2 kernels not compiled into this binary");
+}
+
+void drift_levels_sse42(std::size_t, const std::int32_t*, const double*,
+                        const double*, const double*, const double*,
+                        const double*, std::uint8_t*) {
+  RD_CHECK_MSG(false, "SSE4.2 kernels not compiled into this binary");
+}
+
+#endif  // __SSE4_2__
+
+}  // namespace rd::simd

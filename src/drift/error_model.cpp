@@ -11,7 +11,10 @@ namespace rd::drift {
 ErrorModel::ErrorModel(MetricConfig config, KernelMode mode)
     : config_(std::move(config)),
       mode_(resolve_kernel_mode(mode)),
-      memo_(mode_ == KernelMode::kOptimized ? std::make_shared<Memo>()
+      // Any non-reference tier memoizes — kVectorized inherits the cache
+      // (this model has no SIMD lanes of its own; vectorized is "at least
+      // as fast as optimized" here, not a third evaluation path).
+      memo_(mode_ != KernelMode::kReference ? std::make_shared<Memo>()
                                             : nullptr) {
   for (const auto& s : config_.states) {
     RD_CHECK(s.sigma > 0.0);

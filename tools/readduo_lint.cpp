@@ -50,10 +50,11 @@ namespace fs = std::filesystem;
 // knob must be added here *and* documented in README.md before it ships.
 const std::set<std::string>& env_registry() {
   static const std::set<std::string> kRegistry = {
-      "READDUO_BENCH_JSON",   "READDUO_CACHE",    "READDUO_COVERAGE",
-      "READDUO_FAULTS",       "READDUO_INSTR",    "READDUO_KERNELS",
-      "READDUO_METRICS",      "READDUO_REGEN_GOLDEN", "READDUO_SANITIZE",
-      "READDUO_THREADS",      "READDUO_TRACE",
+      "READDUO_BENCH_COMPARE", "READDUO_BENCH_FAST",   "READDUO_BENCH_JSON",
+      "READDUO_CACHE",         "READDUO_COVERAGE",     "READDUO_FAULTS",
+      "READDUO_INSTR",         "READDUO_KERNELS",      "READDUO_METRICS",
+      "READDUO_REGEN_GOLDEN",  "READDUO_SANITIZE",     "READDUO_SIMD",
+      "READDUO_THREADS",       "READDUO_TRACE",
   };
   return kRegistry;
 }
