@@ -14,7 +14,9 @@
 # dispatched to, host core count, whether bench_cache/ was warm, and a
 # thread-scaling curve (bench_fig6 wall-clock at READDUO_THREADS in
 # {1,2,4,8}, capped at the host core count, cache disabled so every point
-# recomputes). BENCH_pr6.json was produced this way.
+# recomputes), and a "service" section: the READDUO_METRICS summary of one
+# fixed-seed readduo_load run (service-level p50/p95/p99, DESIGN.md §11).
+# BENCH_pr6.json was produced this way.
 #
 # READDUO_BENCH_COMPARE=<baseline.json> gates the run on the perf budget:
 # after writing READDUO_BENCH_JSON (required), the kernels_ns sections of
@@ -42,7 +44,9 @@ harness_log=$(mktemp)
 bench_times=$(mktemp)
 kernel_json=$(mktemp)
 scaling_times=$(mktemp)
-trap 'rm -f "$harness_log" "$bench_times" "$kernel_json" "$scaling_times"' EXIT
+service_json=$(mktemp)
+trap 'rm -f "$harness_log" "$bench_times" "$kernel_json" "$scaling_times" \
+            "$service_json"' EXIT
 
 # Record the cache state before the sweep touches it: a warm bench_cache/
 # replays the heavy sims, so the per-bench numbers mean something different.
@@ -97,6 +101,21 @@ if [ -n "$json_out" ]; then
   done
 fi
 
+# Service-level latency sample for the JSON summary: one fixed-seed
+# readduo_load run. The virtual-time percentiles are deterministic for
+# the (seed, flags) pair; only the wall-clock fields vary per host.
+if [ -n "$json_out" ]; then
+  if [ ! -x ./build/tools/readduo_load ]; then
+    cmake --build build --target readduo_load -j
+  fi
+  echo "##### service: readduo_load #####"
+  svc_start=$(now_ms)
+  ./build/tools/readduo_load --requests=200000 --report-every=0 --seed=7 \
+      --summary="$service_json" > /dev/null
+  svc_end=$(now_ms)
+  echo "----- readduo_load: $(( svc_end - svc_start )) ms"
+fi
+
 # Roll up the harness self-metrics every bench printed at exit.
 awk '
   /^== harness:/ {
@@ -127,7 +146,8 @@ if [ -n "$json_out" ]; then
       -v benchfile="$bench_times" \
       -v kernelfile="$kernel_json" \
       -v scalingfile="$scaling_times" \
-      -v scalingbench="bench_fig6" '
+      -v scalingbench="bench_fig6" \
+      -v servicefile="$service_json" '
   BEGIN {
     # Per-bench wall-clock, in run order.
     npb = 0
@@ -143,6 +163,10 @@ if [ -n "$json_out" ]; then
       sct[++nsc] = a[1]
       scms[a[1]] = a[2]
     }
+    # The readduo_load summary is already a JSON object (one key per
+    # line); it is inlined verbatim under "service" with re-indentation.
+    nsv = 0
+    while ((getline line < servicefile) > 0) svc[++nsv] = line
     # Kernel_<name>_{ref,opt,vec} real_time entries plus the custom
     # context keys (active tier / SIMD level) from the google-benchmark
     # JSON report. bench_micro registers one triple per rewritten kernel.
@@ -188,6 +212,15 @@ if [ -n "$json_out" ]; then
     }
     printf "}\n"
     printf "  },\n"
+    if (nsv > 0) {
+      printf "  \"service\": "
+      for (i = 1; i <= nsv; ++i) {
+        line = svc[i]
+        if (i == 1)        printf "%s\n", line          # "{"
+        else if (i == nsv) printf "  %s,\n", line       # "}" -> "  },"
+        else               printf "  %s\n", line
+      }
+    }
     printf "  \"kernel_env\": {\"tier\": \"%s\", \"simd\": \"%s\"},\n", \
            tier, simd
     printf "  \"kernels_ns\": {\n"

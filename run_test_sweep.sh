@@ -21,6 +21,11 @@
 #   5. A READDUO_BENCH_FAST=1 smoke run of bench_micro: every registered
 #      microbench (including the _vec rows) must still execute; the
 #      numbers are sampled for milliseconds and thrown away.
+#   6. A service soak: a short fixed-seed readduo_load run under 1 and 4
+#      worker threads. The tool itself rc-checks that every submitted
+#      request completed; the lane additionally pins the two runs'
+#      virtual-time metrics against each other (the service determinism
+#      contract, DESIGN.md §11).
 #
 # Usage: ./run_test_sweep.sh [build-dir] [ctest -R regex]
 #   (default: build, all tests)
@@ -80,6 +85,27 @@ if [ ! -x "$BUILD/bench/bench_micro" ]; then
 fi
 READDUO_BENCH_FAST=1 "$BUILD/bench/bench_micro" > /dev/null \
   || failures=$((failures + 1))
+
+step "service soak: readduo_load fixed-seed, THREADS=1 vs =4"
+if [ ! -x "$BUILD/tools/readduo_load" ]; then
+  cmake --build "$BUILD" --target readduo_load -j || exit 1
+fi
+soak_dir=$(mktemp -d)
+for t in 1 4; do
+  echo "-- readduo_load 100k requests (READDUO_THREADS=$t)"
+  READDUO_THREADS=$t "$BUILD/tools/readduo_load" --requests=100000 \
+    --report-every=0 --seed=7 --summary="$soak_dir/soak_$t.json" \
+    > /dev/null || failures=$((failures + 1))
+done
+# Virtual-time metrics must be bit-identical across thread counts; only
+# the wall-clock and backpressure fields may differ.
+if ! diff <(grep -Ev 'wall|spins|rejected|threads' "$soak_dir/soak_1.json") \
+          <(grep -Ev 'wall|spins|rejected|threads' "$soak_dir/soak_4.json")
+then
+  echo "service soak: THREADS=1 and =4 metrics diverge"
+  failures=$((failures + 1))
+fi
+rm -rf "$soak_dir"
 
 step "test sweep: $failures failing stage(s)"
 exit "$((failures > 0))"

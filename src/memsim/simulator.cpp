@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <utility>
 
 #include "common/check.h"
 
@@ -23,7 +24,6 @@ stats::ReqClass class_of(readduo::ReadMode mode) {
 Simulator::Simulator(const SimConfig& cfg, readduo::Scheme& scheme,
                      const trace::Workload& workload)
     : cfg_(cfg), scheme_(scheme), rng_(cfg.seed ^ 0xabcdef12345ull) {
-  RD_CHECK(cfg.cpu.num_cores >= 1);
   RD_CHECK(cfg.org.num_banks >= 1);
   for (unsigned c = 0; c < cfg.cpu.num_cores; ++c) {
     gens_.emplace_back(workload, c, cfg.seed);
@@ -60,8 +60,9 @@ void Simulator::schedule(Ns t, EventKind kind, unsigned index,
   events_.push(Event{t, seq_++, kind, index, tag});
 }
 
-SimResult Simulator::run() {
-  // Prime the cores and the scrub engines.
+void Simulator::ensure_primed() {
+  if (primed_) return;
+  primed_ = true;
   for (unsigned c = 0; c < cores_.size(); ++c) advance_core(c, Ns{0});
   if (scrub_period_.v > 0) {
     for (unsigned b = 0; b < banks_.size(); ++b) {
@@ -72,26 +73,41 @@ SimResult Simulator::run() {
       schedule(banks_[b].next_scrub, EventKind::kScrubTick, b);
     }
   }
+}
 
+bool Simulator::all_cores_done() const {
+  for (const Core& c : cores_) {
+    if (!c.done) return false;
+  }
+  return true;
+}
+
+void Simulator::process(const Event& ev) {
+  now_ = std::max(now_, ev.time);
+  switch (ev.kind) {
+    case EventKind::kCoreIssue:
+      core_issue(ev.index, ev.time);
+      break;
+    case EventKind::kBankDone:
+      bank_done(ev.index, ev.time, ev.tag);
+      break;
+    case EventKind::kScrubTick:
+      scrub_tick(ev.index, ev.time);
+      break;
+  }
+}
+
+SimResult Simulator::run() {
+  RD_CHECK_MSG(!externally_driven(),
+               "run() needs cores; drive an open system with step()");
+  ensure_primed();
   while (!events_.empty()) {
     const Event ev = events_.top();
     events_.pop();
-    switch (ev.kind) {
-      case EventKind::kCoreIssue:
-        core_issue(ev.index, ev.time);
-        break;
-      case EventKind::kBankDone:
-        bank_done(ev.index, ev.time, ev.tag);
-        break;
-      case EventKind::kScrubTick:
-        scrub_tick(ev.index, ev.time);
-        break;
-    }
+    process(ev);
     // Stop once every core retired its budget; in-flight scrub ticks
     // would otherwise keep the queue alive forever.
-    bool all_done = true;
-    for (const Core& c : cores_) all_done = all_done && c.done;
-    if (all_done) break;
+    if (all_cores_done()) break;
   }
 
   Ns finish{0};
@@ -106,6 +122,54 @@ SimResult Simulator::run() {
   return result_;
 }
 
+std::size_t Simulator::step(Ns until) {
+  ensure_primed();
+  std::size_t n = 0;
+  while (!events_.empty() && events_.top().time <= until) {
+    const Event ev = events_.top();
+    events_.pop();
+    process(ev);
+    ++n;
+  }
+  now_ = std::max(now_, until);
+  return n;
+}
+
+bool Simulator::step_one() {
+  ensure_primed();
+  if (events_.empty()) return false;
+  const Event ev = events_.top();
+  events_.pop();
+  process(ev);
+  return true;
+}
+
+void Simulator::external_read(std::uint64_t id, std::uint64_t line,
+                              bool archive, Ns now) {
+  RD_CHECK_MSG(externally_driven(),
+               "external requests need a 0-core simulator");
+  RD_CHECK(id != 0);
+  // Catch the simulator up to the arrival time first: a request must
+  // never be dispatched by a pending event earlier than its admission.
+  step(now);
+  trace::MemOp op;
+  op.line = line;
+  op.archive = archive;
+  enqueue_read(/*core=*/0, op, now, /*blocking=*/false, id);
+}
+
+bool Simulator::external_write(std::uint64_t id, std::uint64_t line, Ns now) {
+  RD_CHECK_MSG(externally_driven(),
+               "external requests need a 0-core simulator");
+  RD_CHECK(id != 0);
+  step(now);  // see external_read: no pending event may predate admission
+  return enqueue_write(line, WriteKind::kDemand, now, id);
+}
+
+std::vector<Simulator::Completion> Simulator::take_completions() {
+  return std::exchange(completions_, {});
+}
+
 // Advance a core past its current operation: charge the instruction gap
 // and schedule the issue of the next memory operation.
 void Simulator::advance_core(unsigned core_id, Ns now) {
@@ -115,13 +179,14 @@ void Simulator::advance_core(unsigned core_id, Ns now) {
     core.pending = gens_[core_id].next();
     core.has_pending = true;
     // Charge the compute gap (+1 for the memory instruction itself).
-    const std::uint64_t instrs =
-        std::min<std::uint64_t>(core.pending.gap_instructions + 1,
-                                core.budget);
+    const std::uint64_t cost = core.pending.gap_instructions + 1;
+    const std::uint64_t instrs = std::min<std::uint64_t>(cost, core.budget);
     core.budget -= instrs;
-    if (core.budget == 0) {
-      // Budget exhausted during the gap: the core finishes after the
-      // remaining compute, without issuing the pending op.
+    if (instrs < cost) {
+      // Budget exhausted inside the compute gap: the memory instruction
+      // itself did not fit, so the core finishes after the remaining
+      // compute without issuing the pending op. (When the +1 fits
+      // exactly, the op is a retired instruction and must still issue.)
       core.done = true;
       core.finish_time = now + cfg_.cpu.compute_time(instrs);
       return;
@@ -162,10 +227,12 @@ void Simulator::core_issue(unsigned core_id, Ns now) {
 }
 
 void Simulator::enqueue_read(unsigned core, const trace::MemOp& op, Ns now,
-                             bool blocking) {
+                             bool blocking, std::uint64_t svc_id) {
   const unsigned b = bank_of(op.line);
   Bank& bank = banks_[b];
-  bank.read_q.push_back(ReadReq{core, op.line, op.archive, blocking, now});
+  bank.read_q.push_back(
+      ReadReq{core, op.line, op.archive, blocking, now,
+              readduo::ReadMode::kRRead, svc_id});
 
   // Write cancellation: a read arriving at a bank busy with a cancellable
   // write preempts it; the write restarts later from scratch.
@@ -194,7 +261,8 @@ void Simulator::enqueue_read(unsigned core, const trace::MemOp& op, Ns now,
   }
 }
 
-bool Simulator::enqueue_write(std::uint64_t line, WriteKind kind, Ns now) {
+bool Simulator::enqueue_write(std::uint64_t line, WriteKind kind, Ns now,
+                              std::uint64_t svc_id) {
   const unsigned b = bank_of(line);
   Bank& bank = banks_[b];
   if (kind == WriteKind::kDemand &&
@@ -222,9 +290,24 @@ bool Simulator::enqueue_write(std::uint64_t line, WriteKind kind, Ns now) {
       break;
   }
   note_reliability(now);
-  bank.write_q.push_back(WriteReq{line, kind, out.latency, now, 0});
+  bank.write_q.push_back(WriteReq{line, kind, out.latency, now, 0, svc_id});
   if (!bank.busy) dispatch(b, now);
   return true;
+}
+
+std::uint64_t Simulator::next_scrub_line(unsigned b) {
+  // The scrub register walks the bank's own line range; using the bank
+  // index as a line address would alias demand line `b` (of bank
+  // b % num_banks == b) and pollute its scheme state and open row.
+  Bank& bank = banks_[b];
+  const std::uint64_t idx = bank.scrub_cursor;
+  bank.scrub_cursor = (bank.scrub_cursor + 1) % cfg_.org.lines_per_bank();
+  if (cfg_.address_map == AddressMap::kRowInterleave) {
+    const std::uint64_t lpr = cfg_.row_buffer.lines_per_row;
+    const std::uint64_t row = idx / lpr;
+    return (row * cfg_.org.num_banks + b) * lpr + idx % lpr;
+  }
+  return idx * cfg_.org.num_banks + b;
 }
 
 void Simulator::sample_queue_gauge(unsigned b) {
@@ -288,8 +371,11 @@ void Simulator::dispatch(unsigned b, Ns now) {
     Ns latency = out.latency;
     if (cfg_.row_buffer.enabled) {
       const std::uint64_t row = req.line / cfg_.row_buffer.lines_per_row;
-      if (bank.open_row == row) {
-        latency = std::min(latency, cfg_.row_buffer.hit_latency);
+      // A hit is only a hit when the latched row actually shortens the
+      // access; a hit_latency at or above the scheme's sense latency
+      // leaves the clamp a no-op and must not count.
+      if (bank.open_row == row && cfg_.row_buffer.hit_latency < latency) {
+        latency = cfg_.row_buffer.hit_latency;
         ++result_.row_hits;
       }
       bank.open_row = row;
@@ -397,6 +483,11 @@ void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
       result_.read_latency_sum_ns += (complete - req.enqueue_time).v;
       result_.metrics.lat(class_of(req.mode))
           .record(complete - req.enqueue_time);
+      if (req.svc_id != 0) {
+        completions_.push_back(
+            Completion{req.svc_id, class_of(req.mode), req.enqueue_time,
+                       complete});
+      }
       if (req.blocking) {
         Core& core = cores_[req.core];
         RD_CHECK(core.blocked_on_read);
@@ -413,11 +504,16 @@ void Simulator::bank_done(unsigned b, Ns now, std::uint64_t tag) {
       // since enqueue_time survives re-queueing) plus service.
       result_.metrics.lat(write_class(done_write.kind))
           .record(now - done_write.enqueue_time);
+      if (done_write.svc_id != 0) {
+        completions_.push_back(
+            Completion{done_write.svc_id, write_class(done_write.kind),
+                       done_write.enqueue_time, now});
+      }
       break;
     case BankOp::kScrubSense:
       ++result_.scrubs_serviced;
       for (unsigned i = 0; i < bank_scrub_rewrites_[b]; ++i) {
-        enqueue_write(/*line=*/b, WriteKind::kScrubRewrite, now);
+        enqueue_write(next_scrub_line(b), WriteKind::kScrubRewrite, now);
       }
       break;
     case BankOp::kNone:
@@ -430,11 +526,12 @@ void Simulator::scrub_tick(unsigned b, Ns now) {
   Bank& bank = banks_[b];
   ++bank.scrub_backlog;
   bank.next_scrub += scrub_period_;
-  // Keep ticking only while some core still executes; otherwise the event
-  // queue would never drain.
-  bool all_done = true;
-  for (const Core& c : cores_) all_done = all_done && c.done;
-  if (!all_done) schedule(bank.next_scrub, EventKind::kScrubTick, b);
+  // Closed system: keep ticking only while some core still executes,
+  // otherwise the event queue would never drain. Open system: tick until
+  // the driver calls stop_scrub().
+  const bool keep =
+      externally_driven() ? !scrub_stopped_ : !all_cores_done();
+  if (keep) schedule(bank.next_scrub, EventKind::kScrubTick, b);
   if (!bank.busy) dispatch(b, now);
 }
 

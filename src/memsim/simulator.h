@@ -6,6 +6,16 @@
 // engine walking the scrub register at the scheme's interval. All policy
 // decisions (sensing mode, rewrite-or-not, differential writes) are
 // delegated to the readduo::Scheme.
+//
+// Two driving modes share one event loop:
+//   - run(): the classic closed system — per-core trace generators retire
+//     an instruction budget and the run ends when every core is done.
+//   - step()/external_read()/external_write(): an open system driven
+//     incrementally by an outside request source (the service front end,
+//     src/service/). Construct with cfg.cpu.num_cores == 0; completions
+//     of externally submitted requests are harvested via
+//     take_completions(), and the background scrub engine keeps ticking
+//     between batches until stop_scrub().
 #pragma once
 
 #include <cstdint>
@@ -121,11 +131,69 @@ struct SimResult {
 /// One simulation: a workload run under a scheme.
 class Simulator {
  public:
+  /// `cfg.cpu.num_cores == 0` builds an externally driven (open-system)
+  /// simulator: no trace generators, requests arrive via external_read /
+  /// external_write, and `workload` is unused.
   Simulator(const SimConfig& cfg, readduo::Scheme& scheme,
             const trace::Workload& workload);
 
-  /// Run to completion and return the aggregate result. Single use.
+  /// Run to completion and return the aggregate result. Single use;
+  /// closed-system (num_cores >= 1) driving only.
   SimResult run();
+
+  // --- incremental driving (service front end) --------------------------
+
+  /// Process every pending event with time <= `until` and advance the
+  /// simulated clock to at least `until`. Returns the number of events
+  /// processed. Usable in both driving modes (the service steps between
+  /// request admissions; tests can single-step a closed system).
+  std::size_t step(Ns until);
+
+  /// Process the single earliest pending event regardless of its time.
+  /// Returns false when the event queue is empty.
+  bool step_one();
+
+  /// The simulated clock: max of the last processed event time and the
+  /// last step() horizon. Nondecreasing.
+  Ns current_time() const { return now_; }
+
+  /// True when built with cfg.cpu.num_cores == 0 (open system).
+  bool externally_driven() const { return cores_.empty(); }
+
+  /// Completion record of an externally submitted request.
+  struct Completion {
+    std::uint64_t id = 0;       ///< caller's request id (nonzero)
+    stats::ReqClass cls{};      ///< service class it completed as
+    Ns enqueue_time{0};         ///< admission time (virtual)
+    Ns complete_time{0};        ///< data-on-bus / write-retired time
+    Ns latency() const { return complete_time - enqueue_time; }
+  };
+
+  /// Submit an external demand read arriving at `now`. Internally steps
+  /// the simulator to `now` first, so no pending event predates the
+  /// admission. `id` must be nonzero; the completion is reported via
+  /// take_completions(). Externally driven mode only.
+  void external_read(std::uint64_t id, std::uint64_t line, bool archive,
+                     Ns now);
+
+  /// Submit an external demand write. Returns false when the target
+  /// bank's bounded write queue is full — the caller should step the
+  /// simulator (step_one()) to drain and retry. Externally driven only.
+  bool external_write(std::uint64_t id, std::uint64_t line, Ns now);
+
+  /// Completions recorded since the last call, in completion order.
+  std::vector<Completion> take_completions();
+
+  /// Stop scheduling further scrub ticks, so the event queue can drain to
+  /// empty (pending senses/rewrites still complete).
+  void stop_scrub() { scrub_stopped_ = true; }
+
+  /// Live view of the aggregate result (histograms fill as events
+  /// complete). exec_time/instructions are only final after run().
+  const SimResult& result() const { return result_; }
+
+  /// Flight-recorder ring (null unless cfg.trace_events > 0).
+  const stats::EventRing* trace_ring() const { return ring_.get(); }
 
  private:
   struct ReadReq {
@@ -140,6 +208,8 @@ class Simulator {
     /// Sensing mode chosen by the scheme at dispatch; classifies the
     /// completion into the right latency histogram.
     readduo::ReadMode mode = readduo::ReadMode::kRRead;
+    /// Nonzero for externally submitted requests (service front end).
+    std::uint64_t svc_id = 0;
   };
   enum class WriteKind { kDemand, kConversion, kScrubRewrite };
   struct WriteReq {
@@ -148,6 +218,8 @@ class Simulator {
     Ns latency;       ///< planned by the scheme at enqueue time
     Ns enqueue_time{0};
     unsigned cancellations = 0;
+    /// Nonzero for externally submitted requests (service front end).
+    std::uint64_t svc_id = 0;
   };
 
   struct Bank {
@@ -164,6 +236,10 @@ class Simulator {
     std::uint64_t op_tag = 0;
     /// Currently latched row (open-page model); ~0 = none.
     std::uint64_t open_row = ~0ull;
+    /// Scrub-register position: index into this bank's own line range,
+    /// advanced per rewrite so rewrites never alias demand lines of other
+    /// banks (see next_scrub_line()).
+    std::uint64_t scrub_cursor = 0;
   };
 
   struct Core {
@@ -199,6 +275,12 @@ class Simulator {
     return static_cast<unsigned>(line % cfg_.org.num_banks);
   }
 
+  /// Prime the cores and stagger the per-bank scrub registers; idempotent
+  /// (run(), step() and the external seam all call it first).
+  void ensure_primed();
+  bool all_cores_done() const;
+  /// Dispatch one popped event and advance the clock.
+  void process(const Event& ev);
   void schedule(Ns t, EventKind kind, unsigned index,
                 std::uint64_t tag = 0);
   void core_issue(unsigned core, Ns now);
@@ -208,9 +290,13 @@ class Simulator {
   /// Start the next piece of work on an idle bank, if any.
   void dispatch(unsigned bank, Ns now);
   void enqueue_read(unsigned core, const trace::MemOp& op, Ns now,
-                    bool blocking);
+                    bool blocking, std::uint64_t svc_id = 0);
   /// Returns false when the write queue is full (core must block).
-  bool enqueue_write(std::uint64_t line, WriteKind kind, Ns now);
+  bool enqueue_write(std::uint64_t line, WriteKind kind, Ns now,
+                     std::uint64_t svc_id = 0);
+  /// The line the scrub register of bank `b` currently points at;
+  /// advances the per-bank cursor over the bank's own line range.
+  std::uint64_t next_scrub_line(unsigned b);
   /// Sample bank `b`'s queue depth at a service point.
   void sample_queue_gauge(unsigned b);
   static stats::ReqClass write_class(WriteKind kind);
@@ -229,7 +315,11 @@ class Simulator {
   std::uint64_t seq_ = 0;
   Ns bus_busy_until_{0};
   Ns scrub_period_{0};
+  Ns now_{0};
+  bool primed_ = false;
+  bool scrub_stopped_ = false;
   SimResult result_;
+  std::vector<Completion> completions_;
   /// Flight recorder (null unless cfg.trace_events > 0).
   std::unique_ptr<stats::EventRing> ring_;
   /// detected_uncorrectable + silent_corruptions last observed, to detect

@@ -1,0 +1,227 @@
+#include "service/memory_service.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/parallel.h"
+#include "memsim/env.h"
+
+namespace rd::service {
+
+void apply_service_env(ServiceConfig& cfg) {
+  if (const char* e = env_cstr("READDUO_SERVICE_SHARDS")) {
+    cfg.num_shards = static_cast<unsigned>(
+        parse_env_u64("READDUO_SERVICE_SHARDS", e));
+  }
+  if (const char* e = env_cstr("READDUO_SERVICE_QUEUE")) {
+    cfg.queue_capacity = static_cast<std::size_t>(
+        parse_env_u64("READDUO_SERVICE_QUEUE", e));
+  }
+  if (const char* e = env_cstr("READDUO_SERVICE_BATCH")) {
+    cfg.batch_size = static_cast<std::size_t>(
+        parse_env_u64("READDUO_SERVICE_BATCH", e));
+  }
+}
+
+MemoryService::MemoryService(const ServiceConfig& cfg) : cfg_(cfg) {
+  RD_CHECK(cfg_.num_shards >= 1);
+  RD_CHECK(cfg_.queue_capacity >= 1);
+  RD_CHECK(cfg_.batch_size >= 1);
+  cfg_.sim.cpu.num_cores = 0;  // the service is the request source
+  for (unsigned s = 0; s < cfg_.num_shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    // Decorrelated per-shard seed streams (the PR 1 mc_ler pattern):
+    // shard results differ across shards but stay a pure function of
+    // (base seed, shard index) — never of the worker that ran them.
+    memsim::SimConfig sim_cfg = cfg_.sim;
+    sim_cfg.seed = cfg_.sim.seed + 0x9e3779b97f4a7c15ull * (s + 1);
+    readduo::SchemeEnv env =
+        memsim::make_scheme_env(cfg_.workload, sim_cfg.cpu, sim_cfg.seed);
+    sh->scheme = readduo::make_scheme(cfg_.scheme, env, cfg_.scheme_opts);
+    sh->sim = std::make_unique<memsim::Simulator>(sim_cfg, *sh->scheme,
+                                                  cfg_.workload);
+    shards_.push_back(std::move(sh));
+  }
+  const unsigned requested =
+      cfg_.worker_threads ? cfg_.worker_threads : parallel_thread_count();
+  worker_count_ =
+      std::min<unsigned>(std::max(1u, requested), cfg_.num_shards);
+  workers_.reserve(worker_count_);
+  for (unsigned w = 0; w < worker_count_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+MemoryService::~MemoryService() { stop(); }
+
+void MemoryService::signal() {
+  epoch_.fetch_add(1, std::memory_order_release);
+  { std::lock_guard<std::mutex> g(state_mu_); }
+  state_cv_.notify_all();
+}
+
+bool MemoryService::submit(const Request& req) {
+  RD_CHECK(req.id != 0);
+  Shard& sh = *shards_[shard_of(req.line)];
+  {
+    std::lock_guard<std::mutex> g(sh.q_mu);
+    if (sh.q.size() >= cfg_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    sh.q.push_back(req);
+    ++sh.submitted;
+    sh.pending.fetch_add(1, std::memory_order_relaxed);
+  }
+  signal();
+  return true;
+}
+
+bool MemoryService::service_shard(Shard& sh) {
+  // Pop one batch. Each shard has exactly one servicing worker, so the
+  // submission queue is MPSC: producers contend on q_mu, this is the
+  // only consumer.
+  std::vector<Request> batch;
+  {
+    std::lock_guard<std::mutex> g(sh.q_mu);
+    const std::size_t n = std::min(cfg_.batch_size, sh.q.size());
+    batch.assign(sh.q.begin(),
+                 sh.q.begin() + static_cast<std::ptrdiff_t>(n));
+    sh.q.erase(sh.q.begin(),
+               sh.q.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+  bool progressed = false;
+  std::size_t harvested = 0;
+  {
+    std::lock_guard<std::mutex> g(sh.sim_mu);
+    memsim::Simulator& sim = *sh.sim;
+    for (const Request& r : batch) {
+      // external_* steps the simulator across the arrival gap first, so
+      // the background scrub engine ticks between batches for free.
+      if (r.is_write) {
+        while (!sim.external_write(r.id, r.line, r.arrival)) {
+          // Bounded bank write queue: make progress and retry. This
+          // terminates — no new work enters the shard meanwhile, so
+          // the bank queues must drain.
+          sim.step_one();
+        }
+      } else {
+        sim.external_read(r.id, r.line, r.archive, r.arrival);
+      }
+      ++sh.admitted;
+    }
+    if (batch.empty() && sh.completed < sh.admitted &&
+        (draining_.load(std::memory_order_relaxed) ||
+         stop_.load(std::memory_order_relaxed))) {
+      // Quiescing with requests still in flight: run the event loop a
+      // bounded chunk at a time. In-flight scrub senses and rewrites
+      // complete along the way; future scrub ticks are processed as
+      // virtual time passes them, never waited for.
+      for (int i = 0; i < 4096 && sim.step_one(); ++i) {
+      }
+      progressed = true;
+    }
+    harvested = sim.take_completions().size();
+    sh.completed += harvested;
+    progressed = progressed || !batch.empty() || harvested > 0;
+  }
+  if (harvested > 0) {
+    sh.pending.fetch_sub(harvested, std::memory_order_relaxed);
+  }
+  if (progressed) signal();
+  return progressed;
+}
+
+std::uint64_t MemoryService::owned_pending(unsigned worker) const {
+  std::uint64_t n = 0;
+  for (unsigned s = worker; s < shards_.size(); s += worker_count_) {
+    n += shards_[s]->pending.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t MemoryService::total_pending() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->pending.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void MemoryService::worker_main(unsigned worker) {
+  for (;;) {
+    const std::uint64_t seen = epoch_.load(std::memory_order_acquire);
+    bool progressed = false;
+    for (unsigned s = worker; s < shards_.size(); s += worker_count_) {
+      progressed = service_shard(*shards_[s]) || progressed;
+    }
+    if (progressed) continue;
+    if (stop_.load(std::memory_order_relaxed) && owned_pending(worker) == 0) {
+      return;
+    }
+    std::unique_lock<std::mutex> lk(state_mu_);
+    // While quiescing, a worker with in-flight requests keeps stepping
+    // (the drain-chunk branch in service_shard counts as progress), so
+    // this wait only parks workers with genuinely nothing to do.
+    state_cv_.wait(lk, [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             epoch_.load(std::memory_order_acquire) != seen ||
+             (draining_.load(std::memory_order_relaxed) &&
+              owned_pending(worker) > 0);
+    });
+    if (stop_.load(std::memory_order_relaxed) && owned_pending(worker) == 0) {
+      return;
+    }
+  }
+}
+
+void MemoryService::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  signal();
+  {
+    std::unique_lock<std::mutex> lk(state_mu_);
+    state_cv_.wait(lk, [&] { return total_pending() == 0; });
+  }
+  draining_.store(false, std::memory_order_relaxed);
+}
+
+void MemoryService::stop() {
+  if (stopped_) return;
+  drain();
+  stop_.store(true, std::memory_order_relaxed);
+  signal();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  stopped_ = true;
+  for (auto& shp : shards_) shp->sim->stop_scrub();
+}
+
+ServiceStats MemoryService::stats() const {
+  ServiceStats st;
+  st.rejected = rejected_.load(std::memory_order_relaxed);
+  for (const auto& shp : shards_) {
+    Shard& sh = *shp;
+    {
+      std::lock_guard<std::mutex> g(sh.q_mu);
+      st.submitted += sh.submitted;
+    }
+    std::lock_guard<std::mutex> g(sh.sim_mu);
+    st.admitted += sh.admitted;
+    st.completed += sh.completed;
+    const memsim::SimResult& r = sh.sim->result();
+    st.scrubs += r.scrubs_serviced;
+    st.write_cancellations += r.write_cancellations;
+    st.scrub_rewrites_dropped += r.scrub_rewrites_dropped;
+    st.virtual_time = std::max(st.virtual_time, sh.sim->current_time());
+    st.metrics.merge(r.metrics);
+  }
+  return st;
+}
+
+const memsim::SimResult& MemoryService::shard_result(unsigned shard) const {
+  return shards_[shard]->sim->result();
+}
+
+}  // namespace rd::service

@@ -1,0 +1,163 @@
+// Memory-service front end: the chip as a server.
+//
+// A MemoryService owns N independent shards, each a full open-system
+// memsim::Simulator (banks, queues, scheme policy, background scrub
+// engine) driven incrementally via step(). Clients submit requests
+// carrying a *virtual* arrival time into bounded per-shard MPSC queues;
+// worker threads (READDUO_THREADS, capped at the shard count) pop
+// batches and admit them into their shards' bank queues, stepping each
+// simulator across the arrival gaps so scrub keeps ticking between
+// batches.
+//
+// Determinism contract (same rule as PR 1's mc_ler): a shard's final
+// state is a pure function of (its seed, its admitted request sequence).
+// Requests are admitted in per-shard FIFO order at their virtual arrival
+// times, and worker threads never share a shard, so per-shard results
+// are bit-identical across thread counts, batch sizes, and wall-clock
+// scheduling; with a single submitting client the whole service is
+// bit-identical across repeats.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "memsim/simulator.h"
+#include "readduo/schemes.h"
+#include "stats/metrics.h"
+#include "trace/workload.h"
+
+namespace rd::service {
+
+/// Service knobs. READDUO_SERVICE_SHARDS / _QUEUE / _BATCH override the
+/// first three (see apply_service_env).
+struct ServiceConfig {
+  /// Independent chips; requests are routed by line.
+  unsigned num_shards = 4;
+  /// Bound of each shard's submission queue (admission backpressure).
+  std::size_t queue_capacity = 4096;
+  /// Max requests a worker admits per shard visit.
+  std::size_t batch_size = 256;
+  /// Worker threads; 0 = parallel_thread_count(). Capped at num_shards.
+  unsigned worker_threads = 0;
+  /// Per-shard simulator configuration. cpu.num_cores is forced to 0
+  /// (the service is the request source); seed is decorrelated per shard.
+  memsim::SimConfig sim;
+  readduo::SchemeKind scheme = readduo::SchemeKind::kHybrid;
+  readduo::ReadDuoOptions scheme_opts;
+  /// Supplies the scheme-environment parameters (drift-age model, write
+  /// rate); the trace generators themselves are unused.
+  trace::Workload workload;
+};
+
+/// Overlay READDUO_SERVICE_SHARDS / _QUEUE / _BATCH (strictly parsed)
+/// onto `cfg`.
+void apply_service_env(ServiceConfig& cfg);
+
+/// One client request. `arrival` is virtual time: the service's clock,
+/// not the host's. `id` must be nonzero and unique among in-flight
+/// requests of the same shard.
+struct Request {
+  std::uint64_t id = 0;
+  std::uint64_t line = 0;
+  bool is_write = false;
+  bool archive = false;
+  Ns arrival{0};
+};
+
+/// Live service-wide snapshot (shards merged).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< accepted into a submission queue
+  std::uint64_t rejected = 0;   ///< bounced off a full queue
+  std::uint64_t admitted = 0;   ///< handed to a simulator's bank queues
+  std::uint64_t completed = 0;  ///< completions harvested
+  std::uint64_t scrubs = 0;
+  std::uint64_t write_cancellations = 0;
+  std::uint64_t scrub_rewrites_dropped = 0;
+  Ns virtual_time{0};  ///< max shard clock
+  stats::SimMetrics metrics;
+};
+
+class MemoryService {
+ public:
+  explicit MemoryService(const ServiceConfig& cfg);
+  ~MemoryService();
+
+  MemoryService(const MemoryService&) = delete;
+  MemoryService& operator=(const MemoryService&) = delete;
+
+  unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
+  unsigned worker_threads() const { return worker_count_; }
+  unsigned shard_of(std::uint64_t line) const {
+    return static_cast<unsigned>(line % shards_.size());
+  }
+
+  /// Enqueue a request; returns false when the target shard's bounded
+  /// queue is full (client backpressure — retry after completions drain).
+  bool submit(const Request& req);
+
+  /// Block until everything submitted so far is admitted and completed.
+  /// The background scrub engines keep running.
+  void drain();
+
+  /// Drain, stop the scrub engines, and join the workers. Idempotent;
+  /// also called by the destructor.
+  void stop();
+
+  /// Live merged snapshot (locks each shard briefly; safe while workers
+  /// run).
+  ServiceStats stats() const;
+
+  /// One shard's simulator result. Only meaningful when quiesced (after
+  /// drain()/stop()); used by the determinism tests.
+  const memsim::SimResult& shard_result(unsigned shard) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<readduo::Scheme> scheme;
+    std::unique_ptr<memsim::Simulator> sim;
+
+    std::mutex q_mu;          ///< guards q + submitted
+    std::deque<Request> q;
+    std::uint64_t submitted = 0;
+
+    std::mutex sim_mu;        ///< guards sim + admitted/completed
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+
+    /// submitted - completed, maintained lock-free so quiescence checks
+    /// (cv predicates) never touch the shard mutexes. Lock order is
+    /// strictly shard mutex -> nothing; state_mu_ -> nothing.
+    std::atomic<std::uint64_t> pending{0};
+  };
+
+  void worker_main(unsigned worker);
+  /// Admit one batch / step one drain chunk; true if progress was made.
+  bool service_shard(Shard& sh);
+  std::uint64_t owned_pending(unsigned worker) const;
+  std::uint64_t total_pending() const;
+  /// Bump the work epoch and wake sleepers; the empty critical section
+  /// closes the lost-wakeup window against cv predicate evaluation.
+  void signal();
+
+  ServiceConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  unsigned worker_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;  ///< workers joined (control-plane thread only)
+};
+
+}  // namespace rd::service

@@ -102,6 +102,21 @@ class LatencyHistogram {
   double p95() const { return percentile(0.95); }
   double p99() const { return percentile(0.99); }
 
+  /// Point-in-time summary for live reporting: the service front end and
+  /// load generator publish these between batches while the underlying
+  /// histograms keep recording.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::int64_t max_ns = 0;
+    double mean_ns = 0.0;
+    double p50_ns = 0.0;
+    double p95_ns = 0.0;
+    double p99_ns = 0.0;
+  };
+  Snapshot snapshot() const {
+    return Snapshot{count_, max(), mean(), p50(), p95(), p99()};
+  }
+
   const std::array<std::uint64_t, kNumBuckets>& buckets() const {
     return buckets_;
   }

@@ -54,6 +54,12 @@ class EventRing {
   std::size_t size() const { return buf_.size(); }
   std::uint64_t total_pushed() const { return total_; }
 
+  /// Retained event `i`, oldest-first (i < size()). Lets tests pin exact
+  /// operation sequences without going through a stderr dump.
+  const TraceEvent& event(std::size_t i) const {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
   /// Dump the retained events oldest-first. The whole dump is rendered
   /// into one buffer and written in a single call under a global mutex, so
   /// dumps from concurrent simulations do not interleave line-by-line.

@@ -1,0 +1,194 @@
+// Determinism and liveness tests for the memory-service front end.
+//
+// The contract under test (DESIGN.md §11): a shard's final state is a
+// pure function of (its seed, its admitted request sequence) — never of
+// worker threads, batch timing, or wall clock. With one submitting
+// client the per-shard request sequences are deterministic, so whole
+// service runs are bit-identical across repeats and per-shard results
+// are bit-identical across thread counts.
+#include "service/memory_service.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/metrics.h"
+#include "trace/workload.h"
+
+namespace rd::service {
+namespace {
+
+ServiceConfig small_config(unsigned threads) {
+  ServiceConfig cfg;
+  cfg.num_shards = 4;
+  cfg.queue_capacity = 1024;
+  cfg.batch_size = 64;
+  cfg.worker_threads = threads;
+  cfg.sim.seed = 7;
+  cfg.scheme = readduo::SchemeKind::kHybrid;
+  cfg.workload = trace::workload_by_name("bzip2");
+  return cfg;
+}
+
+/// Deterministic client: `n` requests with the workload's locality and
+/// write mix, arrivals 500 ns apart. Returns the number accepted
+/// (retrying on backpressure until every request lands).
+std::uint64_t replay(MemoryService& svc, const trace::Workload& w,
+                     std::uint64_t n, std::uint64_t seed) {
+  Rng rng(seed, /*stream=*/0xC11E47);
+  const double write_fraction = w.wpki / (w.rpki + w.wpki);
+  Ns t{0};
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival = t;
+    t += Ns{500};
+    r.is_write = rng.bernoulli(write_fraction);
+    r.line = rng.zipf(w.footprint_lines, w.zipf_s);
+    while (!svc.submit(r)) {
+    }
+  }
+  return n;
+}
+
+struct RunResult {
+  ServiceStats totals;
+  std::vector<stats::SimMetrics> shard_metrics;
+  std::vector<std::uint64_t> shard_reads, shard_writes, shard_scrubs;
+};
+
+RunResult run_service(unsigned threads, std::uint64_t n) {
+  const ServiceConfig cfg = small_config(threads);
+  MemoryService svc(cfg);
+  replay(svc, cfg.workload, n, cfg.sim.seed);
+  svc.drain();
+  svc.stop();
+  RunResult out;
+  out.totals = svc.stats();
+  for (unsigned s = 0; s < svc.num_shards(); ++s) {
+    const memsim::SimResult& r = svc.shard_result(s);
+    out.shard_metrics.push_back(r.metrics);
+    out.shard_reads.push_back(r.reads_serviced);
+    out.shard_writes.push_back(r.writes_serviced);
+    out.shard_scrubs.push_back(r.scrubs_serviced);
+  }
+  return out;
+}
+
+TEST(Service, CompletesEverySubmittedRequest) {
+  const std::uint64_t n = 20'000;
+  const RunResult r = run_service(/*threads=*/2, n);
+  EXPECT_EQ(r.totals.submitted, n);
+  EXPECT_EQ(r.totals.admitted, n);
+  EXPECT_EQ(r.totals.completed, n);
+  // Every completion was recorded into exactly one latency class.
+  std::uint64_t recorded = 0;
+  recorded += r.totals.metrics.demand_reads().count();
+  recorded += r.totals.metrics.lat(stats::ReqClass::kDemandWrite).count();
+  EXPECT_GE(recorded, n);
+}
+
+TEST(Service, ScrubEngineTicksBetweenBatches) {
+  // 20k requests * 500 ns = 10 ms of virtual time; the per-bank scrub
+  // period is ~3.8 us, so thousands of background senses must have run
+  // without any explicit scrub driving by the client.
+  const RunResult r = run_service(/*threads=*/2, 20'000);
+  EXPECT_GT(r.totals.scrubs, 1000u);
+  EXPECT_GT(
+      r.totals.metrics.lat(stats::ReqClass::kScrubRewrite).count(), 0u);
+}
+
+TEST(Service, FixedSeedRepeatIdentity) {
+  const RunResult a = run_service(/*threads=*/1, 10'000);
+  const RunResult b = run_service(/*threads=*/1, 10'000);
+  ASSERT_EQ(a.shard_metrics.size(), b.shard_metrics.size());
+  for (std::size_t s = 0; s < a.shard_metrics.size(); ++s) {
+    EXPECT_TRUE(a.shard_metrics[s] == b.shard_metrics[s]) << "shard " << s;
+    EXPECT_EQ(a.shard_reads[s], b.shard_reads[s]);
+    EXPECT_EQ(a.shard_writes[s], b.shard_writes[s]);
+    EXPECT_EQ(a.shard_scrubs[s], b.shard_scrubs[s]);
+  }
+  EXPECT_TRUE(a.totals.metrics == b.totals.metrics);
+  EXPECT_EQ(a.totals.virtual_time.v, b.totals.virtual_time.v);
+}
+
+TEST(Service, ShardsIdenticalAcrossThreadCounts) {
+  // The PR 1 mc_ler rule applied to the service: per-shard results are a
+  // function of (seed, shard request sequence) only, so THREADS=1 and
+  // THREADS=4 runs agree shard by shard, bit for bit.
+  const RunResult one = run_service(/*threads=*/1, 10'000);
+  const RunResult four = run_service(/*threads=*/4, 10'000);
+  ASSERT_EQ(one.shard_metrics.size(), four.shard_metrics.size());
+  for (std::size_t s = 0; s < one.shard_metrics.size(); ++s) {
+    EXPECT_TRUE(one.shard_metrics[s] == four.shard_metrics[s])
+        << "shard " << s;
+    EXPECT_EQ(one.shard_reads[s], four.shard_reads[s]);
+    EXPECT_EQ(one.shard_writes[s], four.shard_writes[s]);
+    EXPECT_EQ(one.shard_scrubs[s], four.shard_scrubs[s]);
+  }
+  EXPECT_TRUE(one.totals.metrics == four.totals.metrics);
+}
+
+TEST(Service, BoundedQueueRejectsWhenFull) {
+  // A tiny queue with a paused consumer must bounce submissions rather
+  // than grow without bound; after the backlog drains the rejected
+  // request is accepted and completes.
+  ServiceConfig cfg = small_config(/*threads=*/1);
+  cfg.queue_capacity = 8;
+  MemoryService svc(cfg);
+  // Race the single worker: saturate one shard until a rejection is
+  // observed (the worker drains 64-batches, so keep the pressure up).
+  std::uint64_t id = 0;
+  bool saw_reject = false;
+  Ns t{0};
+  for (int burst = 0; burst < 10'000 && !saw_reject; ++burst) {
+    Request r;
+    r.id = ++id;
+    r.line = 0;  // all on shard 0
+    r.arrival = t;
+    t += Ns{1};
+    if (!svc.submit(r)) {
+      saw_reject = true;
+      while (!svc.submit(r)) {
+      }
+    }
+  }
+  svc.drain();
+  svc.stop();
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, id);
+  EXPECT_TRUE(saw_reject);
+  EXPECT_GE(st.rejected, 1u);
+}
+
+TEST(Service, StatsSnapshotSafeWhileRunning) {
+  ServiceConfig cfg = small_config(/*threads=*/2);
+  MemoryService svc(cfg);
+  Rng rng(3, 5);
+  Ns t{0};
+  std::uint64_t submitted = 0;
+  for (int i = 1; i <= 5'000; ++i) {
+    Request r;
+    r.id = static_cast<std::uint64_t>(i);
+    r.line = rng.uniform_below(4096);
+    r.is_write = (i % 5 == 0);
+    r.arrival = t;
+    t += Ns{200};
+    while (!svc.submit(r)) {
+    }
+    ++submitted;
+    if (i % 500 == 0) {
+      const ServiceStats st = svc.stats();  // live, workers running
+      EXPECT_LE(st.completed, st.admitted);
+      EXPECT_LE(st.admitted, st.submitted);
+      EXPECT_EQ(st.submitted, submitted);
+    }
+  }
+  svc.stop();  // stop() without explicit drain() must still quiesce
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, submitted);
+}
+
+}  // namespace
+}  // namespace rd::service

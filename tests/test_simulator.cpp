@@ -193,6 +193,167 @@ TEST(Simulator, ZeroScrubIntervalDisablesScrubTicks) {
   EXPECT_EQ(r.scrub_backlog_end, 0u);
 }
 
+// ----------------------------------------------- bugfix regressions ---
+
+TEST(Simulator, ExactBudgetIssuesEveryRetiredOp) {
+  // rpki=1000, wpki=0: one read per instruction (the geometric gap with
+  // p=1 is always 0), so every op costs exactly gap+1 = 1 instruction and
+  // each core's budget is exhausted by exactly the +1 of its final op.
+  // read_stall_fraction=1 makes every read blocking, so a core only
+  // finishes after its last read completes.
+  trace::Workload w;
+  w.name = "exact-budget";
+  w.rpki = 1000.0;
+  w.wpki = 0.0;
+  w.footprint_lines = 4096;
+  w.zipf_s = 0.0;
+  w.archive_read_fraction = 0.0;
+  w.archive_age_scale = 1.0;
+  w.archive_lines = 64;
+  SimConfig cfg = small_config(2'000);
+  cfg.cpu.read_stall_fraction = 1.0;
+  const SimResult r = run(readduo::SchemeKind::kIdeal, w, cfg);
+  EXPECT_EQ(r.instructions, 4 * cfg.instructions_per_core);
+  // Regression: the final op used to be counted as retired but dropped
+  // without issuing, losing one read per core.
+  EXPECT_EQ(r.reads_serviced + r.writes_serviced,
+            4 * cfg.instructions_per_core);
+}
+
+TEST(Simulator, ScrubRewriteLinesWalkTheBankRange) {
+  const auto& w = trace::workload_by_name("bzip2");
+  SimConfig cfg = small_config(500'000);
+  cfg.trace_events = 1u << 20;
+  readduo::SchemeEnv env = make_scheme_env(w, cfg.cpu, cfg.seed);
+  auto scheme =
+      readduo::make_scheme(readduo::SchemeKind::kScrubbing, env, {});
+  Simulator sim(cfg, *scheme, w);
+  sim.run();
+  const stats::EventRing* ring = sim.trace_ring();
+  ASSERT_NE(ring, nullptr);
+  ASSERT_EQ(ring->total_pushed(), ring->size());  // nothing evicted
+  std::vector<std::vector<std::uint64_t>> lines(cfg.org.num_banks);
+  for (std::size_t i = 0; i < ring->size(); ++i) {
+    const stats::TraceEvent& e = ring->event(i);
+    if (e.kind != 'W' ||
+        e.cls != static_cast<std::uint8_t>(stats::ReqClass::kScrubRewrite)) {
+      continue;
+    }
+    lines[e.bank].push_back(e.line);
+  }
+  std::size_t rewrites = 0;
+  std::size_t beyond_first_stripe = 0;
+  for (unsigned b = 0; b < cfg.org.num_banks; ++b) {
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (std::uint64_t ln : lines[b]) {
+      ++rewrites;
+      // The rewrite register stays inside bank b's own line range...
+      EXPECT_EQ(ln % cfg.org.num_banks, b);
+      // ...moving forward (a cancelled rewrite re-serves the same line;
+      // a dropped one skips a cursor position).
+      if (!first) EXPECT_GE(ln, prev);
+      first = false;
+      prev = ln;
+      if (ln >= cfg.org.num_banks) ++beyond_first_stripe;
+    }
+  }
+  ASSERT_GT(rewrites, 0u);
+  // Regression: rewrites used to alias demand line `b` (the bank index
+  // reused as a line address), pinning every rewrite into the first
+  // num_banks lines of the address space.
+  EXPECT_GT(beyond_first_stripe, 0u);
+}
+
+TEST(Simulator, RowHitRequiresLatencyReduction) {
+  const auto& w = trace::workload_by_name("bzip2");
+  SimConfig cfg = small_config();
+  cfg.row_buffer.enabled = true;
+  // Row-interleave keeps a row's lines on one bank so locality can hit.
+  cfg.address_map = AddressMap::kRowInterleave;
+  // Positive control: a genuinely faster latched row registers hits.
+  cfg.row_buffer.hit_latency = Ns{60};
+  const SimResult fast = run(readduo::SchemeKind::kMMetric, w, cfg);
+  EXPECT_GT(fast.row_hits, 0u);
+  // Regression: a hit latency at or above every sensing latency never
+  // clamps, so no access is served faster and none may count as a hit
+  // (row_hits used to increment on every open-row match).
+  cfg.row_buffer.hit_latency = Ns{100'000};
+  const SimResult never = run(readduo::SchemeKind::kMMetric, w, cfg);
+  EXPECT_EQ(never.row_hits, 0u);
+}
+
+// ------------------------------------------------- service-seam tests ---
+
+TEST(Simulator, ExternalModeDrainsAfterStopScrub) {
+  // Open-system driving: external requests at virtual times with the
+  // background scrub engine ticking between them; after stop_scrub() the
+  // event queue must drain to empty (in-flight senses/rewrites included)
+  // and every submitted request must have completed exactly once.
+  const auto& w = trace::workload_by_name("bzip2");
+  SimConfig cfg = small_config();
+  cfg.cpu.num_cores = 0;
+  readduo::SchemeEnv env = make_scheme_env(w, cfg.cpu, cfg.seed);
+  auto scheme =
+      readduo::make_scheme(readduo::SchemeKind::kScrubbing, env, {});
+  Simulator sim(cfg, *scheme, w);
+  ASSERT_TRUE(sim.externally_driven());
+  std::uint64_t id = 0;
+  Ns t{0};
+  for (int i = 0; i < 200; ++i) {
+    t += Ns{2'000};
+    sim.external_read(++id, static_cast<std::uint64_t>(i) * 37, false, t);
+    while (!sim.external_write(++id, static_cast<std::uint64_t>(i) * 11,
+                               t)) {
+      sim.step_one();
+    }
+    sim.step(t);
+  }
+  sim.stop_scrub();
+  while (sim.step_one()) {
+  }
+  // Scrub ran in the background (period ~3.8 us, horizon 400 us)...
+  EXPECT_GT(sim.result().scrubs_serviced, 0u);
+  // ...and the drain completed every external request.
+  const auto done = sim.take_completions();
+  EXPECT_EQ(done.size(), static_cast<std::size_t>(id));
+  std::vector<bool> seen(id + 1, false);
+  for (const auto& c : done) {
+    ASSERT_GE(c.id, 1u);
+    ASSERT_LE(c.id, id);
+    EXPECT_FALSE(seen[c.id]) << "request completed twice: " << c.id;
+    seen[c.id] = true;
+    EXPECT_GE(c.latency().v, 0);
+  }
+  EXPECT_EQ(sim.result().reads_serviced, 200u);
+  EXPECT_EQ(sim.result().metrics.lat(stats::ReqClass::kDemandWrite).count(),
+            200u);
+  // The clock never runs backwards and covers the full drain.
+  EXPECT_GE(sim.current_time().v, t.v);
+}
+
+TEST(Simulator, WriteCancellationKeepsBoundedQueueLive) {
+  // Tiny write queue + write-heavy trace: cancellations re-queue writes
+  // at the front of an already-full queue, and cores stall on admission.
+  // The run must still retire the full budget (no deadlock), plan each
+  // demand write exactly once, and stay deterministic.
+  const auto& w = trace::workload_by_name("lbm");
+  SimConfig cfg = small_config(100'000);
+  cfg.write_queue_depth = 2;
+  cfg.max_write_cancellations = 8;
+  readduo::Scheme* scheme = nullptr;
+  const SimResult r = run(readduo::SchemeKind::kIdeal, w, cfg, &scheme);
+  EXPECT_GT(r.write_cancellations, 0u);
+  EXPECT_EQ(r.instructions, 4 * cfg.instructions_per_core);
+  // Cancelled writes are re-serviced without re-planning: the demand
+  // writes serviced can never exceed the admissions the scheme planned.
+  EXPECT_LE(r.metrics.lat(stats::ReqClass::kDemandWrite).count(),
+            scheme->counters().total_demand_writes());
+  const SimResult again = run(readduo::SchemeKind::kIdeal, w, cfg);
+  EXPECT_TRUE(r.metrics == again.metrics);
+  EXPECT_EQ(r.write_cancellations, again.write_cancellations);
+}
+
 // ----------------------------------------------------------- metrics ---
 
 TEST(SimulatorMetrics, ReadHistogramMatchesServicedPopulation) {

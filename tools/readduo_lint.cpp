@@ -53,7 +53,8 @@ const std::set<std::string>& env_registry() {
       "READDUO_BENCH_COMPARE", "READDUO_BENCH_FAST",   "READDUO_BENCH_JSON",
       "READDUO_CACHE",         "READDUO_COVERAGE",     "READDUO_FAULTS",
       "READDUO_INSTR",         "READDUO_KERNELS",      "READDUO_METRICS",
-      "READDUO_REGEN_GOLDEN",  "READDUO_SANITIZE",     "READDUO_SIMD",
+      "READDUO_REGEN_GOLDEN",  "READDUO_SANITIZE",     "READDUO_SERVICE_BATCH",
+      "READDUO_SERVICE_QUEUE", "READDUO_SERVICE_SHARDS", "READDUO_SIMD",
       "READDUO_THREADS",       "READDUO_TRACE",
   };
   return kRegistry;
@@ -75,6 +76,9 @@ bool file_allowed(const std::string& rel, const std::string& rule) {
       {"no-rand", "src/common/rng.cpp"},
       {"no-rand", "src/common/rng.h"},
       {"no-wallclock", "bench/harness.cpp"},  // harness wall-clock metrics
+      // Load-gen throughput (req per wall second) is a wall-clock
+      // quantity by definition; all sim latencies stay virtual.
+      {"no-wallclock", "tools/readduo_load.cpp"},
       {"no-getenv", "src/common/env.h"},      // the audited gateway
   };
   auto [lo, hi] = kAllow.equal_range(rule);

@@ -1,0 +1,273 @@
+// readduo_load — closed-loop load generator for the memory service.
+//
+//   readduo_load --requests=1000000 --rps=2000000 --scheme=Hybrid
+//   READDUO_THREADS=4 READDUO_SERVICE_SHARDS=8 readduo_load
+//
+// Replays synthetic clients against a service::MemoryService at a
+// configurable *virtual* arrival rate: one submission thread generates
+// reads/writes with the chosen workload's locality and write mix, stamps
+// them with virtual arrival times 1/rps apart, and pushes them into the
+// service's bounded shard queues (spinning on backpressure — the closed
+// loop). Live p50/p95/p99 snapshots from the histogram layer print while
+// the run progresses; the final READDUO_METRICS JSON summarizes the run
+// (optionally duplicated to --summary=<file> for run_all_benches.sh).
+//
+// The latency distributions are virtual-time quantities and bit-identical
+// for a fixed (seed, flags, READDUO_SERVICE_*) configuration regardless
+// of READDUO_THREADS or wall-clock scheduling; only the throughput lines
+// (requests per wall second) vary per host.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "service/memory_service.h"
+#include "stats/json.h"
+#include "trace/workload.h"
+
+using namespace rd;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "\n"
+      "options:\n"
+      "  --requests=<n>         requests to complete (default 1000000)\n"
+      "  --rps=<r>              virtual arrival rate, req/s (default 2e6)\n"
+      "  --scheme=<name>        Ideal | Scrubbing | M-metric | Hybrid |\n"
+      "                         LWT | Select (default Hybrid)\n"
+      "  --workload=<name>      locality/write-mix template (default mcf)\n"
+      "  --write-fraction=<f>   override the workload's write mix\n"
+      "  --seed=<n>             RNG seed (default 42)\n"
+      "  --shards=<n>           chips (default 4)\n"
+      "  --queue=<n>            per-shard submission queue bound\n"
+      "  --batch=<n>            admission batch size\n"
+      "  --report-every=<n>     live report every n completions\n"
+      "                         (default 100000; 0 = quiet)\n"
+      "  --summary=<file>       also write the final JSON to <file>\n"
+      "\n"
+      "environment:\n"
+      "  READDUO_THREADS            service worker threads\n"
+      "  READDUO_SERVICE_SHARDS     default for --shards\n"
+      "  READDUO_SERVICE_QUEUE      default for --queue\n"
+      "  READDUO_SERVICE_BATCH      default for --batch\n",
+      argv0);
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+readduo::SchemeKind scheme_by_name(const std::string& s) {
+  if (s == "Ideal") return readduo::SchemeKind::kIdeal;
+  if (s == "TLC") return readduo::SchemeKind::kTlc;
+  if (s == "Scrubbing") return readduo::SchemeKind::kScrubbing;
+  if (s == "M-metric") return readduo::SchemeKind::kMMetric;
+  if (s == "Hybrid") return readduo::SchemeKind::kHybrid;
+  if (s == "LWT") return readduo::SchemeKind::kLwt;
+  if (s == "Select") return readduo::SchemeKind::kSelect;
+  RD_CHECK_MSG(false, "unknown scheme: " + s);
+  return readduo::SchemeKind::kHybrid;
+}
+
+/// {"count":..,"mean_ns":..,"p50_ns":..,...} for one latency class.
+std::string class_json(const stats::LatencyHistogram& h) {
+  const stats::LatencyHistogram::Snapshot s = h.snapshot();
+  stats::JsonWriter j;
+  j.add("count", s.count)
+      .add("mean_ns", s.mean_ns)
+      .add("p50_ns", s.p50_ns)
+      .add("p95_ns", s.p95_ns)
+      .add("p99_ns", s.p99_ns)
+      .add("max_ns", static_cast<std::int64_t>(s.max_ns));
+  return j.str();
+}
+
+// lint: allow(sig-seconds) wall_s is host wall-clock, not simulated time
+void live_report(const service::ServiceStats& st, double wall_s,
+                 std::uint64_t target) {
+  const stats::LatencyHistogram::Snapshot rd =
+      st.metrics.demand_reads().snapshot();
+  const stats::LatencyHistogram::Snapshot wr =
+      st.metrics.lat(stats::ReqClass::kDemandWrite).snapshot();
+  std::printf(
+      "[load] wall=%.1fs completed=%llu/%llu (%.0f%%) rps=%.0f "
+      "vt=%.1fms | read p50=%.0f p95=%.0f p99=%.0f ns | "
+      "write p50=%.0f p95=%.0f p99=%.0f ns\n",
+      wall_s, static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(target),
+      100.0 * static_cast<double>(st.completed) /
+          static_cast<double>(target),
+      wall_s > 0 ? static_cast<double>(st.completed) / wall_s : 0.0,
+      static_cast<double>(st.virtual_time.v) / 1e6, rd.p50_ns, rd.p95_ns,
+      rd.p99_ns, wr.p50_ns, wr.p95_ns, wr.p99_ns);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t requests = 1'000'000;
+  double rps = 2e6;
+  std::string scheme = "Hybrid";
+  std::string workload = "mcf";
+  double write_fraction = -1.0;
+  std::uint64_t seed = 42;
+  std::uint64_t report_every = 100'000;
+  std::string summary_path;
+  std::string shards_flag, queue_flag, batch_flag;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--requests", v)) {
+      requests = std::stoull(v);
+    } else if (parse_flag(argv[i], "--rps", v)) {
+      rps = std::stod(v);
+    } else if (parse_flag(argv[i], "--scheme", v)) {
+      scheme = v;
+    } else if (parse_flag(argv[i], "--workload", v)) {
+      workload = v;
+    } else if (parse_flag(argv[i], "--write-fraction", v)) {
+      write_fraction = std::stod(v);
+    } else if (parse_flag(argv[i], "--seed", v)) {
+      seed = std::stoull(v);
+    } else if (parse_flag(argv[i], "--shards", v)) {
+      shards_flag = v;
+    } else if (parse_flag(argv[i], "--queue", v)) {
+      queue_flag = v;
+    } else if (parse_flag(argv[i], "--batch", v)) {
+      batch_flag = v;
+    } else if (parse_flag(argv[i], "--report-every", v)) {
+      report_every = std::stoull(v);
+    } else if (parse_flag(argv[i], "--summary", v)) {
+      summary_path = v;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  RD_CHECK(requests >= 1);
+  RD_CHECK(rps > 0.0);
+
+  const trace::Workload& w = trace::workload_by_name(workload);
+  if (write_fraction < 0.0) {
+    write_fraction = w.wpki / (w.rpki + w.wpki);
+  }
+
+  service::ServiceConfig cfg;
+  cfg.sim.seed = seed;
+  cfg.scheme = scheme_by_name(scheme);
+  cfg.workload = w;
+  service::apply_service_env(cfg);  // env defaults, flags override
+  if (!shards_flag.empty()) {
+    cfg.num_shards = static_cast<unsigned>(std::stoul(shards_flag));
+  }
+  if (!queue_flag.empty()) cfg.queue_capacity = std::stoull(queue_flag);
+  if (!batch_flag.empty()) cfg.batch_size = std::stoull(batch_flag);
+
+  service::MemoryService svc(cfg);
+  std::printf(
+      "[load] scheme=%s workload=%s shards=%u threads=%u queue=%zu "
+      "batch=%zu rps=%.0f write_fraction=%.3f requests=%llu seed=%llu\n",
+      scheme.c_str(), workload.c_str(), svc.num_shards(),
+      svc.worker_threads(), cfg.queue_capacity, cfg.batch_size, rps,
+      write_fraction, static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(seed));
+
+  // Client-side draws use their own decorrelated stream so the request
+  // sequence is a pure function of the seed.
+  Rng rng(seed, /*stream=*/0x10ad);
+  const Ns gap{std::max<std::int64_t>(1, from_seconds(1.0 / rps).v)};
+  const auto t0 = std::chrono::steady_clock::now();
+  auto wall_s = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  Ns t{0};
+  std::uint64_t backpressure_spins = 0;
+  std::uint64_t next_report = report_every;
+  for (std::uint64_t i = 1; i <= requests; ++i) {
+    service::Request r;
+    r.id = i;
+    r.arrival = t;
+    t += gap;
+    r.is_write = rng.bernoulli(write_fraction);
+    if (!r.is_write && rng.bernoulli(w.archive_read_fraction)) {
+      r.archive = true;
+      r.line = w.footprint_lines +
+               rng.uniform_below(std::max<std::uint64_t>(1, w.archive_lines));
+    } else {
+      r.line = rng.zipf(w.footprint_lines, w.zipf_s);
+    }
+    while (!svc.submit(r)) {
+      // Closed loop: a full shard queue pushes back on the client.
+      ++backpressure_spins;
+      std::this_thread::yield();
+    }
+    if (report_every > 0 && i >= next_report) {
+      const service::ServiceStats st = svc.stats();
+      live_report(st, wall_s(), requests);
+      next_report = i + report_every;
+    }
+  }
+  svc.drain();
+  const service::ServiceStats st = svc.stats();
+  live_report(st, wall_s(), requests);
+  svc.stop();
+  const double wall = wall_s();
+
+  RD_CHECK_MSG(st.completed == requests,
+               "service lost requests: completed != submitted");
+
+  stats::JsonWriter j;
+  j.add("tool", std::string("readduo_load"))
+      .add("scheme", scheme)
+      .add("workload", workload)
+      .add("shards", static_cast<std::uint64_t>(svc.num_shards()))
+      .add("threads", static_cast<std::uint64_t>(svc.worker_threads()))
+      .add("queue", static_cast<std::uint64_t>(cfg.queue_capacity))
+      .add("batch", static_cast<std::uint64_t>(cfg.batch_size))
+      .add("seed", seed)
+      .add("rps_virtual", rps)
+      .add("write_fraction", write_fraction)
+      .add("requests", requests)
+      .add("completed", st.completed)
+      .add("rejected_submissions", st.rejected)
+      .add("backpressure_spins", backpressure_spins)
+      .add("virtual_time_ns",
+           static_cast<std::int64_t>(st.virtual_time.v))
+      .add("wall_ms", wall * 1e3)
+      .add("throughput_rps_wall",
+           wall > 0 ? static_cast<double>(st.completed) / wall : 0.0)
+      .add("scrubs", st.scrubs)
+      .add("write_cancellations", st.write_cancellations)
+      .add("scrub_rewrites_dropped", st.scrub_rewrites_dropped)
+      .add_raw("demand_reads", class_json(st.metrics.demand_reads()));
+  for (std::size_t c = 0; c < stats::kNumReqClasses; ++c) {
+    const auto cls = static_cast<stats::ReqClass>(c);
+    if (st.metrics.lat(cls).count() == 0) continue;
+    j.add_raw(stats::req_class_name(cls), class_json(st.metrics.lat(cls)));
+  }
+  const std::string json = j.str();
+  std::printf("READDUO_METRICS %s", json.c_str());
+  if (!summary_path.empty()) {
+    std::ofstream out(summary_path);
+    RD_CHECK_MSG(out.good(), "cannot write --summary file");
+    out << json;
+  }
+  return 0;
+}
