@@ -10,7 +10,6 @@
 #include <functional>
 #include <iomanip>
 #include <limits>
-#include <mutex>
 #include <sstream>
 #include <string_view>
 #include <system_error>
@@ -19,6 +18,7 @@
 
 #include "common/env.h"
 #include "common/parallel.h"
+#include "common/thread_annotations.h"
 #include "faults/injector.h"
 #include "memsim/env.h"
 #include "stats/json.h"
@@ -96,7 +96,7 @@ void store_cached(const std::string& key, const RunResult& r) {
   const std::filesystem::path final_path = cache_path(key);
   std::filesystem::path tmp_path = final_path;
   tmp_path += ".tmp." + std::to_string(::getpid()) + "." +
-              std::to_string(write_id.fetch_add(1));
+              std::to_string(write_id.fetch_add(1, std::memory_order_relaxed));
   std::ofstream out(tmp_path);
   detail::write_cache_entry(out, r);
   out.close();
@@ -116,11 +116,14 @@ struct RunRecord {
   RunResult result;
 };
 
-/// Process-wide harness self-metrics + per-run records.
+/// Process-wide harness self-metrics + per-run records. The run registry
+/// and export path are mu's to guard; the counters are relaxed atomics
+/// (monotonic tallies, no ordering needed).
 struct Harness {
-  std::mutex mu;
-  std::vector<RunRecord> runs;  ///< populated only when metrics_dest()
-  std::string bench_name = "bench";
+  Mutex mu;
+  /// Populated only when metrics_dest().
+  std::vector<RunRecord> runs RD_GUARDED_BY(mu);
+  std::string bench_name RD_GUARDED_BY(mu) = "bench";
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
   /// Entries that carried a current schema tag but failed to parse —
@@ -154,7 +157,7 @@ bool load_cached(const std::string& key, RunResult& out) {
   std::string tag;
   if ((tagged >> tag) &&
       tag == "v" + std::to_string(detail::kCacheSchemaVersion)) {
-    harness().cache_corrupt.fetch_add(1);
+    harness().cache_corrupt.fetch_add(1, std::memory_order_relaxed);
     std::fprintf(stderr,
                  "readduo: warning: corrupt bench_cache entry '%s' — "
                  "recomputing\n",
@@ -197,23 +200,25 @@ std::string json_array(const std::vector<T>& xs, Fn&& render) {
 /// JSON metrics export (when READDUO_METRICS is set).
 void emit_metrics() {
   Harness& h = harness();
-  const std::uint64_t hits = h.cache_hits.load();
-  const std::uint64_t misses = h.cache_misses.load();
+  const std::uint64_t hits = h.cache_hits.load(std::memory_order_relaxed);
+  const std::uint64_t misses = h.cache_misses.load(std::memory_order_relaxed);
   std::printf("== harness: runs=%llu cache_hits=%llu cache_misses=%llu "
               "threads=%u sim_wall_ms=%llu max_run_ms=%llu\n",
               static_cast<unsigned long long>(hits + misses),
               static_cast<unsigned long long>(hits),
               static_cast<unsigned long long>(misses),
               parallel_thread_count(),
-              static_cast<unsigned long long>(h.wall_us.load() / 1000),
-              static_cast<unsigned long long>(h.max_run_us.load() / 1000));
+              static_cast<unsigned long long>(
+                  h.wall_us.load(std::memory_order_relaxed) / 1000),
+              static_cast<unsigned long long>(
+                  h.max_run_us.load(std::memory_order_relaxed) / 1000));
 
   const char* dest = metrics_dest();
   if (dest == nullptr) return;
 
   const std::string body = detail::render_metrics_json();
 
-  std::lock_guard<std::mutex> g(h.mu);
+  MutexLock g(h.mu);
   if (std::string_view(dest) == "1") {
     std::fputs(body.c_str(), stdout);
     return;
@@ -279,10 +284,12 @@ RunResult run_one(readduo::SchemeKind kind, const trace::Workload& w,
           .count());
 
   Harness& h = harness();
-  (cached ? h.cache_hits : h.cache_misses).fetch_add(1);
-  h.wall_us.fetch_add(us);
-  std::uint64_t prev = h.max_run_us.load();
-  while (us > prev && !h.max_run_us.compare_exchange_weak(prev, us)) {
+  (cached ? h.cache_hits : h.cache_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+  h.wall_us.fetch_add(us, std::memory_order_relaxed);
+  std::uint64_t prev = h.max_run_us.load(std::memory_order_relaxed);
+  while (us > prev && !h.max_run_us.compare_exchange_weak(
+                          prev, us, std::memory_order_relaxed)) {
   }
 
   if (rec != nullptr && metrics_dest() != nullptr) {
@@ -465,18 +472,21 @@ std::string render_run_json(const std::string& workload, std::uint64_t seed,
 
 std::string render_metrics_json() {
   Harness& h = harness();
-  std::lock_guard<std::mutex> g(h.mu);
+  MutexLock g(h.mu);
   stats::JsonWriter doc;
   doc.add("bench", h.bench_name)
       .add("schema_version",
            static_cast<std::uint64_t>(detail::kCacheSchemaVersion))
       .add("threads", std::uint64_t{parallel_thread_count()})
-      .add("cache_hits", h.cache_hits.load())
-      .add("cache_misses", h.cache_misses.load())
-      .add("cache_corrupt", h.cache_corrupt.load())
-      .add("sim_wall_ms", static_cast<std::uint64_t>(h.wall_us.load() / 1000))
+      .add("cache_hits", h.cache_hits.load(std::memory_order_relaxed))
+      .add("cache_misses", h.cache_misses.load(std::memory_order_relaxed))
+      .add("cache_corrupt", h.cache_corrupt.load(std::memory_order_relaxed))
+      .add("sim_wall_ms",
+           static_cast<std::uint64_t>(
+               h.wall_us.load(std::memory_order_relaxed) / 1000))
       .add("max_run_ms",
-           static_cast<std::uint64_t>(h.max_run_us.load() / 1000));
+           static_cast<std::uint64_t>(
+               h.max_run_us.load(std::memory_order_relaxed) / 1000));
   // Fault-injection provenance: a metrics document produced under
   // READDUO_FAULTS says so, carrying the canonical plan and the per-class
   // injection counts. Absent entirely when faults are off, so clean
@@ -509,7 +519,7 @@ std::string render_metrics_json() {
 
 void set_bench_name(const std::string& name) {
   Harness& h = harness();
-  std::lock_guard<std::mutex> g(h.mu);
+  MutexLock g(h.mu);
   h.bench_name = name;
 }
 
@@ -520,7 +530,7 @@ RunResult run_scheme(readduo::SchemeKind kind, const trace::Workload& w,
   RunResult result = run_one(kind, w, opts, seed, &rec);
   if (metrics_dest() != nullptr) {
     Harness& h = harness();
-    std::lock_guard<std::mutex> g(h.mu);
+    MutexLock g(h.mu);
     h.runs.push_back(std::move(rec));
   }
   return result;
@@ -537,7 +547,7 @@ std::vector<RunResult> run_schemes(const std::vector<RunSpec>& specs) {
   // how the pool interleaved the runs.
   if (metrics_dest() != nullptr) {
     Harness& h = harness();
-    std::lock_guard<std::mutex> g(h.mu);
+    MutexLock g(h.mu);
     for (RunRecord& rec : recs) h.runs.push_back(std::move(rec));
   }
   return results;

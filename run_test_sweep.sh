@@ -26,6 +26,11 @@
 #      request completed; the lane additionally pins the two runs'
 #      virtual-time metrics against each other (the service determinism
 #      contract, DESIGN.md §11).
+#   7. Concurrency discipline: the readduo_lint fixture self-test (the
+#      lock/atomic rules of DESIGN.md §8 must keep firing on their seeded
+#      violations) and the same fixed-seed service soak under TSan, with
+#      its virtual-time metrics pinned against the plain run.
+#      READDUO_TSAN_SOAK=0 skips just the TSan half of this lane.
 #
 # Usage: ./run_test_sweep.sh [build-dir] [ctest -R regex]
 #   (default: build, all tests)
@@ -106,6 +111,38 @@ then
   failures=$((failures + 1))
 fi
 rm -rf "$soak_dir"
+
+step "concurrency discipline: lint self-test + TSan service soak"
+if [ ! -x "$BUILD/tools/readduo_lint" ]; then
+  cmake --build "$BUILD" --target readduo_lint -j || exit 1
+fi
+"$BUILD/tools/readduo_lint" --selftest tests/lint_fixtures \
+  || failures=$((failures + 1))
+if [ "${READDUO_TSAN_SOAK:-1}" != "0" ]; then
+  tsan_dir=$(mktemp -d)
+  cmake -B build-tsan -S . -DREADDUO_SANITIZE=thread > /dev/null \
+    && cmake --build build-tsan --target readduo_load -j \
+    || failures=$((failures + 1))
+  for run in plain:"$BUILD" tsan:build-tsan; do
+    name=${run%%:*}; tree=${run#*:}
+    echo "-- readduo_load 100k requests ($name build, READDUO_THREADS=4)"
+    READDUO_THREADS=4 "$tree/tools/readduo_load" --requests=100000 \
+      --report-every=0 --seed=7 --summary="$tsan_dir/soak_$name.json" \
+      > /dev/null || failures=$((failures + 1))
+  done
+  # TSan reschedules threads aggressively; the virtual-time metrics must
+  # not notice (the service determinism contract, DESIGN.md §11).
+  if ! diff \
+      <(grep -Ev 'wall|spins|rejected|threads' "$tsan_dir/soak_plain.json") \
+      <(grep -Ev 'wall|spins|rejected|threads' "$tsan_dir/soak_tsan.json")
+  then
+    echo "TSan soak: instrumented metrics diverge from plain build"
+    failures=$((failures + 1))
+  fi
+  rm -rf "$tsan_dir"
+else
+  echo "READDUO_TSAN_SOAK=0 — skipping the TSan service soak"
+fi
 
 step "test sweep: $failures failing stage(s)"
 exit "$((failures > 0))"

@@ -1,14 +1,13 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/env.h"
+#include "common/thread_annotations.h"
 
 namespace rd {
 
@@ -40,51 +39,64 @@ unsigned parallel_thread_count() {
 }
 
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable cv_work;
-  std::condition_variable cv_done;
-  // One job at a time; callers queue on job_mu.
-  std::mutex job_mu;
+  Mutex mu;  ///< the pool capability: job hand-off and completion state
+  CondVar cv_work;
+  CondVar cv_done;
+  // One job at a time; callers queue on job_mu. Held for a whole
+  // parallel_for, so it guards no fields — it *is* the job pipeline.
+  // lint: allow(guarded-field) job-pipeline mutex: serializes parallel_for calls, guards no fields
+  Mutex job_mu;
 
-  // Current job, guarded by mu except `next` (claimed lock-free).
-  const std::function<void(std::size_t)>* fn = nullptr;
-  std::size_t n = 0;
+  // Current job. fn/n are published under mu (before the generation
+  // bump) and re-read under mu by each waking worker; `next` is claimed
+  // lock-free.
+  const std::function<void(std::size_t)>* fn RD_GUARDED_BY(mu) = nullptr;
+  std::size_t n RD_GUARDED_BY(mu) = 0;
   std::atomic<std::size_t> next{0};
-  std::size_t active = 0;  // workers currently inside run_shards
-  std::uint64_t generation = 0;
-  bool stop = false;
-  std::exception_ptr error;
+  std::size_t active RD_GUARDED_BY(mu) = 0;  ///< workers inside run_shards
+  std::uint64_t generation RD_GUARDED_BY(mu) = 0;
+  bool stop RD_GUARDED_BY(mu) = false;
+  std::exception_ptr error RD_GUARDED_BY(mu);
 
   std::vector<std::thread> workers;
 
-  // Claim and execute shards until the job is exhausted. Called without mu.
-  void run_shards() {
+  /// Claim and execute shards of the job `(f, count)` until it is
+  /// exhausted. Called without mu; the job is passed by value-of-snapshot
+  /// (taken under mu) so no guarded field is touched here.
+  void run_shards(const std::function<void(std::size_t)>& f,
+                  std::size_t count) RD_EXCLUDES(mu) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= count) return;
       try {
-        (*fn)(i);
+        f(i);
       } catch (...) {
-        std::lock_guard<std::mutex> g(mu);
+        MutexLock g(mu);
         if (!error) error = std::current_exception();
         // Abandon the remaining shards; in-flight ones finish.
-        next.store(n, std::memory_order_relaxed);
+        next.store(count, std::memory_order_relaxed);
       }
     }
   }
 
-  void worker_loop() {
+  void worker_loop() RD_EXCLUDES(mu) {
     t_in_parallel_region = true;
     std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lk(mu);
+    mu.lock();
     for (;;) {
-      cv_work.wait(lk, [&] { return stop || generation != seen; });
-      if (stop) return;
+      while (!stop && generation == seen) cv_work.wait(mu);
+      if (stop) {
+        mu.unlock();
+        return;
+      }
       seen = generation;
+      // Snapshot the job under mu; run it unlocked.
+      const std::function<void(std::size_t)>* f = fn;
+      const std::size_t count = n;
       ++active;
-      lk.unlock();
-      run_shards();
-      lk.lock();
+      mu.unlock();
+      run_shards(*f, count);
+      mu.lock();
       --active;
       if (active == 0) cv_done.notify_all();
     }
@@ -101,7 +113,7 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> g(impl_->mu);
+    MutexLock g(impl_->mu);
     impl_->stop = true;
   }
   impl_->cv_work.notify_all();
@@ -119,9 +131,9 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 
   Impl& im = *impl_;
-  std::lock_guard<std::mutex> job(im.job_mu);
+  MutexLock job(im.job_mu);
   {
-    std::lock_guard<std::mutex> g(im.mu);
+    MutexLock g(im.mu);
     im.fn = &fn;
     im.n = n;
     im.next.store(0, std::memory_order_relaxed);
@@ -131,18 +143,19 @@ void ThreadPool::parallel_for(std::size_t n,
   im.cv_work.notify_all();
   {
     RegionGuard guard;
-    im.run_shards();
+    im.run_shards(fn, n);
   }
-  std::unique_lock<std::mutex> lk(im.mu);
-  im.cv_done.wait(lk, [&] {
-    return im.active == 0 && im.next.load(std::memory_order_relaxed) >= im.n;
-  });
-  if (im.error) {
-    std::exception_ptr e = im.error;
+  std::exception_ptr e;
+  {
+    MutexLock lk(im.mu);
+    while (im.active != 0 ||
+           im.next.load(std::memory_order_relaxed) < im.n) {
+      im.cv_done.wait(im.mu);
+    }
+    e = im.error;
     im.error = nullptr;
-    lk.unlock();
-    std::rethrow_exception(e);
   }
+  if (e) std::rethrow_exception(e);
 }
 
 void parallel_for_shards(std::size_t n,
@@ -157,11 +170,11 @@ void parallel_for_shards(std::size_t n,
 
   // Process-wide pool, rebuilt when READDUO_THREADS changes. A shared_ptr
   // copy keeps a pool alive for callers still running on it after a swap.
-  static std::mutex mu;
+  static Mutex mu;
   static std::shared_ptr<ThreadPool> pool;
   std::shared_ptr<ThreadPool> local;
   {
-    std::lock_guard<std::mutex> g(mu);
+    MutexLock g(mu);
     if (!pool || pool->size() != want) {
       pool = std::make_shared<ThreadPool>(want);
     }

@@ -15,6 +15,11 @@
 // threads) — and reduce the per-shard outputs in shard order after the
 // loop. parallel_for_shards guarantees every shard runs exactly once, but
 // not on which thread or in which order.
+//
+// The pool's internal locking follows the repo's annotated discipline
+// (common/thread_annotations.h): the job state lives behind an rd::Mutex
+// capability in the implementation, checked under Clang's
+// -Wthread-safety by run_static_analysis.sh (DESIGN.md §8).
 #pragma once
 
 #include <cstddef>

@@ -33,7 +33,7 @@ double ErrorModel::log_cell_error_prob(std::size_t state,
   if (memo_ == nullptr) return log_cell_error_prob_direct(state, t_seconds);
   const std::pair<std::size_t, double> key{state, t_seconds};
   {
-    std::lock_guard<std::mutex> g(memo_->mu);
+    MutexLock g(memo_->memo_mu);
     auto it = memo_->values.find(key);
     if (it != memo_->values.end()) return it->second;
   }
@@ -42,7 +42,7 @@ double ErrorModel::log_cell_error_prob(std::size_t state,
   // the same point store the same double (the evaluation is pure).
   const double lp = log_cell_error_prob_direct(state, t_seconds);
   {
-    std::lock_guard<std::mutex> g(memo_->mu);
+    MutexLock g(memo_->memo_mu);
     if (memo_->values.size() < Memo::kMaxEntries) {
       memo_->values.emplace(key, lp);
     }

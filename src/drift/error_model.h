@@ -22,11 +22,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/kernels.h"
+#include "common/thread_annotations.h"
 #include "drift/metric.h"
 
 namespace rd::drift {
@@ -87,8 +87,9 @@ class ErrorModel {
   /// grids need a few thousand entries at most).
   struct Memo {
     static constexpr std::size_t kMaxEntries = 1u << 15;
-    std::mutex mu;
-    std::map<std::pair<std::size_t, double>, double> values;
+    Mutex memo_mu;
+    std::map<std::pair<std::size_t, double>, double> values
+        RD_GUARDED_BY(memo_mu);
   };
 
   MetricConfig config_;

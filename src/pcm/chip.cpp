@@ -123,6 +123,7 @@ void MlcChip::program(LineSlot& slot, const BitVec& codeword) {
       ++stats_.cells_retired;
     }
   }
+  // lint: allow(atomic-order) ErrorPointers::store is not a std::atomic
   slot.ecp.store(want);
 }
 

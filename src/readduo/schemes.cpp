@@ -4,10 +4,10 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "faults/injector.h"
 
 namespace rd::readduo {
@@ -19,14 +19,16 @@ namespace {
 /// Mutex-guarded: concurrent bench runs (bench::run_schemes) construct
 /// schemes from pool threads. Entries are never erased and the map keeps
 /// node addresses stable, so the returned reference outlives the lock.
+Mutex g_sampler_mu;
+std::map<std::tuple<bool, unsigned, double, unsigned>,
+         std::unique_ptr<ScrubAgeSampler>>
+    g_sampler_cache RD_GUARDED_BY(g_sampler_mu);
+
 const ScrubAgeSampler& shared_sampler(bool m_metric, unsigned cells,
                                       double interval, unsigned nu) {
-  static std::mutex mu;
-  static std::map<std::tuple<bool, unsigned, double, unsigned>,
-                  std::unique_ptr<ScrubAgeSampler>>
-      cache;
   const auto key = std::make_tuple(m_metric, cells, interval, nu);
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(g_sampler_mu);
+  auto& cache = g_sampler_cache;
   auto it = cache.find(key);
   if (it == cache.end()) {
     const drift::ErrorModel& model =

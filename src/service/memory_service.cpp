@@ -39,6 +39,9 @@ MemoryService::MemoryService(const ServiceConfig& cfg) : cfg_(cfg) {
     readduo::SchemeEnv env =
         memsim::make_scheme_env(cfg_.workload, sim_cfg.cpu, sim_cfg.seed);
     sh->scheme = readduo::make_scheme(cfg_.scheme, env, cfg_.scheme_opts);
+    // Single-threaded here (workers not spawned yet), but the lock keeps
+    // the capability bookkeeping honest — and it is uncontended.
+    MutexLock g(sh->sim_mu);
     sh->sim = std::make_unique<memsim::Simulator>(sim_cfg, *sh->scheme,
                                                   cfg_.workload);
     shards_.push_back(std::move(sh));
@@ -57,7 +60,7 @@ MemoryService::~MemoryService() { stop(); }
 
 void MemoryService::signal() {
   epoch_.fetch_add(1, std::memory_order_release);
-  { std::lock_guard<std::mutex> g(state_mu_); }
+  { MutexLock g(state_mu_); }
   state_cv_.notify_all();
 }
 
@@ -65,7 +68,7 @@ bool MemoryService::submit(const Request& req) {
   RD_CHECK(req.id != 0);
   Shard& sh = *shards_[shard_of(req.line)];
   {
-    std::lock_guard<std::mutex> g(sh.q_mu);
+    MutexLock g(sh.q_mu);
     if (sh.q.size() >= cfg_.queue_capacity) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return false;
@@ -84,7 +87,7 @@ bool MemoryService::service_shard(Shard& sh) {
   // only consumer.
   std::vector<Request> batch;
   {
-    std::lock_guard<std::mutex> g(sh.q_mu);
+    MutexLock g(sh.q_mu);
     const std::size_t n = std::min(cfg_.batch_size, sh.q.size());
     batch.assign(sh.q.begin(),
                  sh.q.begin() + static_cast<std::ptrdiff_t>(n));
@@ -95,7 +98,7 @@ bool MemoryService::service_shard(Shard& sh) {
   bool progressed = false;
   std::size_t harvested = 0;
   {
-    std::lock_guard<std::mutex> g(sh.sim_mu);
+    MutexLock g(sh.sim_mu);
     memsim::Simulator& sim = *sh.sim;
     for (const Request& r : batch) {
       // external_* steps the simulator across the arrival gap first, so
@@ -161,16 +164,20 @@ void MemoryService::worker_main(unsigned worker) {
     if (stop_.load(std::memory_order_relaxed) && owned_pending(worker) == 0) {
       return;
     }
-    std::unique_lock<std::mutex> lk(state_mu_);
-    // While quiescing, a worker with in-flight requests keeps stepping
-    // (the drain-chunk branch in service_shard counts as progress), so
-    // this wait only parks workers with genuinely nothing to do.
-    state_cv_.wait(lk, [&] {
-      return stop_.load(std::memory_order_relaxed) ||
-             epoch_.load(std::memory_order_acquire) != seen ||
-             (draining_.load(std::memory_order_relaxed) &&
-              owned_pending(worker) > 0);
-    });
+    {
+      MutexLock lk(state_mu_);
+      // While quiescing, a worker with in-flight requests keeps stepping
+      // (the drain-chunk branch in service_shard counts as progress), so
+      // this wait only parks workers with genuinely nothing to do. The
+      // predicate is open-coded: every term is an atomic, and a lambda
+      // would be analyzed as an unannotated function (see CondVar).
+      while (!(stop_.load(std::memory_order_relaxed) ||
+               epoch_.load(std::memory_order_acquire) != seen ||
+               (draining_.load(std::memory_order_relaxed) &&
+                owned_pending(worker) > 0))) {
+        state_cv_.wait(state_mu_);
+      }
+    }
     if (stop_.load(std::memory_order_relaxed) && owned_pending(worker) == 0) {
       return;
     }
@@ -181,8 +188,8 @@ void MemoryService::drain() {
   draining_.store(true, std::memory_order_relaxed);
   signal();
   {
-    std::unique_lock<std::mutex> lk(state_mu_);
-    state_cv_.wait(lk, [&] { return total_pending() == 0; });
+    MutexLock lk(state_mu_);
+    while (total_pending() != 0) state_cv_.wait(state_mu_);
   }
   draining_.store(false, std::memory_order_relaxed);
 }
@@ -195,7 +202,12 @@ void MemoryService::stop() {
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   stopped_ = true;
-  for (auto& shp : shards_) shp->sim->stop_scrub();
+  for (auto& shp : shards_) {
+    // Workers are joined; the lock is uncontended but keeps the
+    // sim-capability bookkeeping checkable.
+    MutexLock g(shp->sim_mu);
+    shp->sim->stop_scrub();
+  }
 }
 
 ServiceStats MemoryService::stats() const {
@@ -204,10 +216,10 @@ ServiceStats MemoryService::stats() const {
   for (const auto& shp : shards_) {
     Shard& sh = *shp;
     {
-      std::lock_guard<std::mutex> g(sh.q_mu);
+      MutexLock g(sh.q_mu);
       st.submitted += sh.submitted;
     }
-    std::lock_guard<std::mutex> g(sh.sim_mu);
+    MutexLock g(sh.sim_mu);
     st.admitted += sh.admitted;
     st.completed += sh.completed;
     const memsim::SimResult& r = sh.sim->result();
@@ -221,7 +233,9 @@ ServiceStats MemoryService::stats() const {
 }
 
 const memsim::SimResult& MemoryService::shard_result(unsigned shard) const {
-  return shards_[shard]->sim->result();
+  Shard& sh = *shards_[shard];
+  MutexLock g(sh.sim_mu);
+  return sh.sim->result();
 }
 
 }  // namespace rd::service

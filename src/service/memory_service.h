@@ -16,17 +16,24 @@
 // are bit-identical across thread counts, batch sizes, and wall-clock
 // scheduling; with a single submitting client the whole service is
 // bit-identical across repeats.
+//
+// Locking discipline (compiler-checked via common/thread_annotations.h;
+// the field->capability map is in DESIGN.md §8): each shard carries two
+// capabilities — q_mu over the submission queue, sim_mu over the
+// simulator and its admission counters — plus a lock-free pending count
+// for quiescence checks. Lock order is strictly one-at-a-time: no code
+// path holds two shard mutexes, or a shard mutex and state_mu_,
+// simultaneously.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "memsim/simulator.h"
 #include "readduo/schemes.h"
@@ -115,21 +122,26 @@ class MemoryService {
   ServiceStats stats() const;
 
   /// One shard's simulator result. Only meaningful when quiesced (after
-  /// drain()/stop()); used by the determinism tests.
+  /// drain()/stop()); takes the shard's sim_mu so the read is safe (and
+  /// annotation-clean) even if called early.
   const memsim::SimResult& shard_result(unsigned shard) const;
 
  private:
   struct Shard {
+    /// Set once in the MemoryService constructor, before any worker
+    /// exists; immutable afterwards — no capability needed.
     std::unique_ptr<readduo::Scheme> scheme;
-    std::unique_ptr<memsim::Simulator> sim;
 
-    std::mutex q_mu;          ///< guards q + submitted
-    std::deque<Request> q;
-    std::uint64_t submitted = 0;
+    Mutex q_mu;  ///< submission-side capability
+    std::deque<Request> q RD_GUARDED_BY(q_mu);
+    std::uint64_t submitted RD_GUARDED_BY(q_mu) = 0;
 
-    std::mutex sim_mu;        ///< guards sim + admitted/completed
-    std::uint64_t admitted = 0;
-    std::uint64_t completed = 0;
+    Mutex sim_mu;  ///< simulation-side capability
+    /// The pointer is set once in the constructor; the pointee (the
+    /// incrementally-stepped simulator) is sim_mu's to guard.
+    std::unique_ptr<memsim::Simulator> sim RD_PT_GUARDED_BY(sim_mu);
+    std::uint64_t admitted RD_GUARDED_BY(sim_mu) = 0;
+    std::uint64_t completed RD_GUARDED_BY(sim_mu) = 0;
 
     /// submitted - completed, maintained lock-free so quiescence checks
     /// (cv predicates) never touch the shard mutexes. Lock order is
@@ -139,20 +151,24 @@ class MemoryService {
 
   void worker_main(unsigned worker);
   /// Admit one batch / step one drain chunk; true if progress was made.
-  bool service_shard(Shard& sh);
+  bool service_shard(Shard& sh) RD_EXCLUDES(sh.q_mu, sh.sim_mu);
   std::uint64_t owned_pending(unsigned worker) const;
   std::uint64_t total_pending() const;
   /// Bump the work epoch and wake sleepers; the empty critical section
   /// closes the lost-wakeup window against cv predicate evaluation.
-  void signal();
+  void signal() RD_EXCLUDES(state_mu_);
 
   ServiceConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
   unsigned worker_count_ = 1;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex state_mu_;
-  std::condition_variable state_cv_;
+  /// Condition-protocol mutex: it orders sleep/wake against the atomic
+  /// flags below (see signal()) and guards no plain fields, so nothing
+  /// carries RD_GUARDED_BY(state_mu_).
+  // lint: allow(guarded-field) condition-protocol mutex; every flag it orders is an annotated atomic
+  mutable Mutex state_mu_;
+  mutable CondVar state_cv_;
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<bool> draining_{false};

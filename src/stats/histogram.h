@@ -6,6 +6,14 @@
 // of samples yields bit-identical histograms regardless of arrival order
 // or thread count. Resolution is <= 25% relative error per bucket, which
 // is plenty for p50/p95/p99 of memory latencies spanning 1 ns .. seconds.
+//
+// Concurrency contract: a LatencyHistogram is a plain value type with no
+// internal locking. Each instance is owned by exactly one simulator (or
+// one shard) and mutated only by its owner; cross-thread visibility goes
+// through the owner's capability — in the service that is
+// Shard::sim_mu, under which stats() merges per-shard copies (see the
+// annotation map, DESIGN.md §8). Do not share one instance between
+// recorders.
 #pragma once
 
 #include <algorithm>

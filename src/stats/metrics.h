@@ -3,6 +3,12 @@
 // service points; everything is plain integer state, so two runs of the
 // same configuration produce bit-identical metrics no matter how the
 // surrounding sweep is threaded.
+//
+// Concurrency contract: SimMetrics carries no locks of its own. It lives
+// inside memsim::Simulator state; in the service every simulator (and so
+// its metrics) is guarded by its shard's sim_mu capability, and merged
+// snapshots are taken under that lock (memory_service.cpp::stats). See
+// the annotation map in DESIGN.md §8.
 #pragma once
 
 #include <algorithm>

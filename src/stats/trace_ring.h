@@ -11,12 +11,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "common/thread_annotations.h"
 
 namespace rd::stats {
 
@@ -80,8 +80,10 @@ class EventRing {
       out += linebuf;
     }
     out += "=== end event trace dump\n";
-    static std::mutex mu;
-    std::lock_guard<std::mutex> g(mu);
+    // Process-wide dump gate: the ring itself is single-writer (owned by
+    // one simulator), only the *stream* is shared across simulations.
+    static Mutex mu;
+    MutexLock g(mu);
     os << out;
     os.flush();
   }

@@ -1,0 +1,32 @@
+// Negative thread-safety probe: reads and writes a guarded field without
+// holding its mutex. Under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// this TU MUST FAIL to compile — run_static_analysis.sh asserts the
+// failure, proving the analysis is actually armed (a probe that silently
+// compiled would mean the annotations were being ignored).
+#include "common/thread_annotations.h"
+
+namespace probe {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    ++value_;  // error: writing value_ requires holding mu_
+  }
+
+  int read_unlocked() const {
+    return value_;  // error: reading value_ requires holding mu_
+  }
+
+ private:
+  rd::Mutex mu_;
+  int value_ RD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace probe
+
+int main() {
+  probe::Counter c;
+  c.bump_unlocked();
+  return c.read_unlocked();
+}

@@ -1,0 +1,47 @@
+// Positive thread-safety probe: every guarded access holds the right
+// capability, so this TU must compile cleanly under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// (and under any compiler without the analysis, where the annotations
+// expand to nothing). run_static_analysis.sh compiles it in the Clang
+// annotation stage; bad_guarded.cpp is the matching negative probe.
+#include "common/thread_annotations.h"
+
+namespace probe {
+
+class Counter {
+ public:
+  void bump() RD_EXCLUDES(mu_) {
+    rd::MutexLock g(mu_);
+    ++value_;
+  }
+
+  int wait_nonzero() RD_EXCLUDES(mu_) {
+    rd::MutexLock g(mu_);
+    while (value_ == 0) cv_.wait(mu_);
+    return value_;
+  }
+
+  void bump_locked() RD_REQUIRES(mu_) { ++value_; }
+
+  void bump_twice() RD_EXCLUDES(mu_) {
+    mu_.lock();
+    bump_locked();
+    bump_locked();
+    mu_.unlock();
+    cv_.notify_all();
+  }
+
+ private:
+  rd::Mutex mu_;
+  rd::CondVar cv_;
+  int value_ RD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace probe
+
+int main() {
+  probe::Counter c;
+  c.bump();
+  c.bump_twice();
+  return c.wait_nonzero() == 3 ? 0 : 1;
+}

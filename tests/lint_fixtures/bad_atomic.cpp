@@ -1,0 +1,54 @@
+// Seeded violations for the atomic-order rule: atomic operations that
+// rely on the seq-cst default instead of stating the intended ordering.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<bool> stop_flag{false};
+
+void bump() {
+  counter.fetch_add(1);  // expect: atomic-order
+}
+
+std::uint64_t peek() {
+  return counter.load();  // expect: atomic-order
+}
+
+void halt() {
+  stop_flag.store(true);  // expect: atomic-order
+}
+
+bool swap_in(std::uint64_t want) {
+  std::uint64_t seen = 0;
+  return counter.compare_exchange_weak(seen, want);  // expect: atomic-order
+}
+
+std::uint64_t spread(std::uint64_t a, std::uint64_t b, std::uint64_t c);
+void multiline_no_order() {
+  counter.store(spread(1,  // expect: atomic-order
+                       2,
+                       3));
+}
+
+// Explicit orders are clean.
+void bump_relaxed() {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+std::uint64_t peek_acquire() {
+  return counter.load(std::memory_order_acquire);
+}
+void multiline_with_order() {
+  counter.store(spread(4,
+                       5,
+                       6),
+                std::memory_order_release);
+}
+
+// A reasoned suppression is honored.
+void bump_suppressed() {
+  counter.fetch_add(1);  // lint: allow(atomic-order) fixture: deliberate seq-cst
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Seeded violations for the no-detach rule: detached threads and raw
+// `new std::thread` escape their owner's join discipline — every thread
+// in this repo lives in a joining container.
+#include <thread>
+
+namespace fixture {
+
+void fire_and_forget() {
+  std::thread t([] {});
+  t.detach();  // expect: no-detach
+}
+
+void leak_via_pointer() {
+  auto* t = new std::thread([] {});  // expect: no-detach
+  t->detach();                       // expect: no-detach
+}
+
+// Identifier boundaries: detach as part of a longer name is clean.
+void undetached_cleanup();
+int detach_count();
+
+// A reasoned suppression is honored.
+void daemonize() {
+  std::thread t([] {});
+  t.detach();  // lint: allow(no-detach) fixture: simulating daemon handoff
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Seeded violations for the guarded-field rule: a `_mu`-suffixed mutex
+// member that no RD_GUARDED_BY / RD_REQUIRES / RD_ACQUIRE annotation in
+// the file ever names guards nothing the analysis can check.
+#include <cstdint>
+
+#define RD_GUARDED_BY(x)
+
+namespace rd {
+class Mutex {};
+}  // namespace rd
+
+namespace fixture {
+
+struct OrphanCache {
+  rd::Mutex cache_mu;  // expect: guarded-field
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+struct AnnotatedCache {
+  rd::Mutex table_mu;  // clean: referenced by the annotation below
+  std::uint64_t entries RD_GUARDED_BY(table_mu) = 0;
+};
+
+struct SignalOnly {
+  // lint: allow(guarded-field) condition-protocol mutex; orders atomics only
+  rd::Mutex wake_mu;
+};
+
+}  // namespace fixture

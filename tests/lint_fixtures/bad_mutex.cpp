@@ -1,0 +1,31 @@
+// Seeded violations for the no-bare-mutex rule: raw standard-library
+// locking primitives outside common/thread_annotations.h. The annotated
+// rd::Mutex / rd::MutexLock / rd::CondVar wrappers are mandatory so
+// Clang's -Wthread-safety analysis can see every acquisition.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex plain;                           // expect: no-bare-mutex
+std::recursive_mutex nested;                // expect: no-bare-mutex
+std::timed_mutex timed;                     // expect: no-bare-mutex
+std::condition_variable_any signal_cv;      // expect: no-bare-mutex
+
+int locked_read(int* p) {
+  std::lock_guard<std::mutex> g(plain);     // expect: no-bare-mutex
+  return *p;
+}
+
+int adopted_read(int* p) {
+  std::unique_lock<std::mutex> g(plain);    // expect: no-bare-mutex
+  return *p;
+}
+
+// A reasoned suppression is honored: interop with a vendor API that hands
+// us a std::mutex directly.
+int vendor_read(int* p) {
+  std::lock_guard<std::mutex> g(plain);  // lint: allow(no-bare-mutex) vendor API interop
+  return *p;
+}
+
+}  // namespace fixture

@@ -1,0 +1,113 @@
+// Compile-and-run probe for common/thread_annotations.h: the annotated
+// rd::Mutex / rd::MutexLock / rd::CondVar must behave exactly like the
+// std primitives they wrap, under Clang (where the RD_* macros feed the
+// -Wthread-safety analysis) and under GCC (where they expand to nothing).
+// The negative side — that -Werror=thread-safety really rejects an
+// unguarded access — is proven by tests/annotation_probes/bad_guarded.cpp
+// in the run_static_analysis.sh Clang stage.
+#include "common/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+// The canonical guarded-counter shape: field annotated with its
+// capability, accessors annotated with what they acquire or require.
+class Counter {
+ public:
+  void bump() RD_EXCLUDES(mu_) {
+    rd::MutexLock g(mu_);
+    ++value_;
+  }
+
+  std::int64_t read() RD_EXCLUDES(mu_) {
+    rd::MutexLock g(mu_);
+    return value_;
+  }
+
+ private:
+  rd::Mutex mu_;
+  std::int64_t value_ RD_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotations, MutexLockExcludesRaces) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kBumps = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kBumps; ++i) c.bump();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.read(), static_cast<std::int64_t>(kThreads) * kBumps);
+}
+
+TEST(ThreadAnnotations, TryLockReportsContention) {
+  rd::Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());  // non-recursive: second attempt fails
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+// The service/pool signal protocol in miniature: a producer publishes
+// under the mutex and notifies; the consumer open-codes the predicate
+// loop exactly as memory_service.cpp and parallel.cpp do (predicate
+// lambdas would be analyzed as unannotated functions).
+class Mailbox {
+ public:
+  void post(int v) RD_EXCLUDES(mu_) {
+    {
+      rd::MutexLock g(mu_);
+      value_ = v;
+      posted_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  int take() RD_EXCLUDES(mu_) {
+    rd::MutexLock g(mu_);
+    while (!posted_) cv_.wait(mu_);
+    posted_ = false;
+    return value_;
+  }
+
+ private:
+  rd::Mutex mu_;
+  rd::CondVar cv_;
+  bool posted_ RD_GUARDED_BY(mu_) = false;
+  int value_ RD_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotations, CondVarWaitsForPredicate) {
+  Mailbox box;
+  std::thread producer([&box] { box.post(42); });
+  EXPECT_EQ(box.take(), 42);
+  producer.join();
+}
+
+TEST(ThreadAnnotations, CondVarRoundTrips) {
+  Mailbox box;
+  std::thread producer([&box] {
+    for (int i = 0; i < 100; ++i) box.post(i);
+  });
+  // The consumer can observe fewer posts than sent (posts coalesce when
+  // the consumer lags), but values it does see arrive in order and the
+  // final value always lands.
+  int last = -1;
+  while (last != 99) {
+    const int got = box.take();
+    EXPECT_GT(got, last);
+    last = got;
+  }
+  producer.join();
+}
+
+}  // namespace

@@ -19,7 +19,25 @@
 //                 below or from README.md
 //   lint-allow    malformed suppression (missing reason / unknown rule)
 //
-// Violations print `file:line: rule-id: message` and exit nonzero.
+// Concurrency-discipline rules (PR 8; see common/thread_annotations.h and
+// DESIGN.md §8 — these keep the Clang -Wthread-safety gate honest by
+// construction, so locking that the analysis cannot see never ships):
+//
+//   no-bare-mutex raw std::mutex / lock_guard / unique_lock /
+//                 condition_variable outside the annotated rd::Mutex
+//                 wrapper header (invisible to the capability analysis)
+//   guarded-field a `_mu`-suffixed rd::Mutex member that no
+//                 RD_GUARDED_BY / RD_REQUIRES / RD_ACQUIRE annotation in
+//                 the file references — a capability guarding nothing
+//   atomic-order  std::atomic load/store/RMW without an explicit
+//                 std::memory_order (seq-cst-by-default hides intent)
+//   no-detach     std::thread::detach or a naked `new std::thread` —
+//                 every thread must be joined by an owner
+//
+// Violations print `file:line: rule-id: message` and exit nonzero; the
+// last line is always a `N violation(s)` summary. `--max-findings=N`
+// truncates the per-finding output (CI log hygiene) without changing the
+// summary count or the exit code.
 // Suppression: a trailing comment of the form
 //   lint: allow(no-rand) reproducing libc behaviour under test
 // on the offending line, or on a standalone comment line directly above
@@ -32,6 +50,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -55,16 +74,17 @@ const std::set<std::string>& env_registry() {
       "READDUO_INSTR",         "READDUO_KERNELS",      "READDUO_METRICS",
       "READDUO_REGEN_GOLDEN",  "READDUO_SANITIZE",     "READDUO_SERVICE_BATCH",
       "READDUO_SERVICE_QUEUE", "READDUO_SERVICE_SHARDS", "READDUO_SIMD",
-      "READDUO_THREADS",       "READDUO_TRACE",
+      "READDUO_THREADS",       "READDUO_TRACE",        "READDUO_TSAN_SOAK",
   };
   return kRegistry;
 }
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> kRules = {
-      "no-rand",   "no-wallclock", "no-getenv",    "no-unordered",
-      "unit-conv", "sig-ns",       "sig-seconds",  "env-registry",
-      "lint-allow",
+      "no-rand",       "no-wallclock",  "no-getenv",    "no-unordered",
+      "unit-conv",     "sig-ns",        "sig-seconds",  "env-registry",
+      "lint-allow",    "no-bare-mutex", "guarded-field", "atomic-order",
+      "no-detach",
   };
   return kRules;
 }
@@ -80,6 +100,8 @@ bool file_allowed(const std::string& rel, const std::string& rule) {
       // quantity by definition; all sim latencies stay virtual.
       {"no-wallclock", "tools/readduo_load.cpp"},
       {"no-getenv", "src/common/env.h"},      // the audited gateway
+      // The wrapper header *is* the audited std::mutex implementation.
+      {"no-bare-mutex", "src/common/thread_annotations.h"},
   };
   auto [lo, hi] = kAllow.equal_range(rule);
   for (auto it = lo; it != hi; ++it) {
@@ -251,6 +273,62 @@ bool ends_with(const std::string& s, const std::string& suf) {
          s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
 }
 
+/// True when `word` occurs in `code` as a *method* call: identifier
+/// boundaries, preceded (ignoring spaces) by '.' or '->', followed
+/// (ignoring spaces) by '('. On success `*open_out` is the index of the
+/// opening parenthesis. Distinguishes `flags.load(...)` from free
+/// functions like `load_cached(...)`.
+bool find_method_call(const std::string& code, const std::string& word,
+                      std::size_t* open_out) {
+  std::size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool lb = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t end = pos + word.size();
+    const bool rb = end >= code.size() || !ident_char(code[end]);
+    if (lb && rb) {
+      std::size_t before = pos;
+      while (before > 0 && code[before - 1] == ' ') --before;
+      const bool method =
+          (before > 0 && code[before - 1] == '.') ||
+          (before > 1 && code[before - 2] == '-' && code[before - 1] == '>');
+      std::size_t open = end;
+      while (open < code.size() && code[open] == ' ') ++open;
+      if (method && open < code.size() && code[open] == '(') {
+        *open_out = open;
+        return true;
+      }
+    }
+    pos += word.size();
+  }
+  return false;
+}
+
+/// True when `needle` occurs in `code` with identifier boundaries and the
+/// token after it (ignoring spaces) begins an identifier satisfying
+/// `take_decl`: used for `Mutex <name>` declaration spotting.
+template <typename DeclFn>
+void for_each_type_decl(const std::string& code, const std::string& type,
+                        DeclFn take_decl) {
+  std::size_t pos = 0;
+  while ((pos = code.find(type, pos)) != std::string::npos) {
+    const bool lb = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t j = pos + type.size();
+    pos += type.size();
+    if (!lb || (j < code.size() && ident_char(code[j]))) continue;
+    while (j < code.size() && code[j] == ' ') ++j;
+    std::string name;
+    while (j < code.size() && ident_char(code[j])) name += code[j++];
+    if (name.empty()) continue;
+    while (j < code.size() && code[j] == ' ') ++j;
+    // A declaration ends in ';' (member), '{' (braced init) or '=' —
+    // `Mutex` as a parameter or return type does not match.
+    if (j < code.size() && (code[j] == ';' || code[j] == '{' ||
+                            code[j] == '=')) {
+      take_decl(name);
+    }
+  }
+}
+
 // ------------------------------------------------------------ findings ---
 
 struct Finding {
@@ -347,6 +425,29 @@ void scan_file(const fs::path& path, const FileScope& scope,
   bool in_block = false;
   std::set<std::string> pending_allow;   // from a standalone comment line
   std::set<std::string> pending_expect;  // from `expect-next:`
+
+  // guarded-field bookkeeping: every `_mu`-suffixed Mutex member must be
+  // named by some RD_* capability annotation somewhere in the same file,
+  // else the capability guards nothing (fields were left unannotated).
+  struct MutexDecl {
+    std::string name;
+    std::size_t line;
+    bool suppressed;
+  };
+  std::vector<MutexDecl> mutex_decls;
+  std::set<std::string> annotation_refs;
+
+  // atomic-order continuation: an atomic op whose argument list spans
+  // physical lines is judged once its parenthesis closes.
+  struct PendingAtomic {
+    bool active = false;
+    std::size_t line = 0;
+    int depth = 0;
+    bool seen_order = false;
+    bool suppressed = false;
+  };
+  PendingAtomic pend_atomic;
+
   while (std::getline(in, line)) {
     ++lineno;
     LinePieces p = split_line(line, in_block);
@@ -439,6 +540,149 @@ void scan_file(const fs::path& path, const FileScope& scope,
              "at the boundary");
     }
 
+    // --- concurrency discipline ------------------------------------------
+    const bool conc_scope = in_src && !scope.in_tests;
+    bool is_preproc = false;
+    for (char c : p.code) {
+      if (c == ' ' || c == '\t') continue;
+      is_preproc = c == '#';
+      break;
+    }
+
+    if (conc_scope && !is_preproc) {
+      for (const char* w :
+           {"mutex", "timed_mutex", "recursive_mutex", "shared_mutex",
+            "lock_guard", "unique_lock", "scoped_lock", "condition_variable",
+            "condition_variable_any"}) {
+        if (has_token(p.code, w)) {
+          report("no-bare-mutex",
+                 std::string("raw std::") + w +
+                     " outside common/thread_annotations.h; use rd::Mutex "
+                     "/ rd::MutexLock / rd::CondVar so the thread-safety "
+                     "analysis can see the lock");
+          break;
+        }
+      }
+    }
+
+    if (conc_scope) {
+      // `Mutex <name>_mu` declarations (qualified or not) ...
+      const auto collect = [&](const std::string& name) {
+        if (ends_with(name, "_mu") || ends_with(name, "_mu_")) {
+          mutex_decls.push_back(
+              {name, lineno, allowed.count("guarded-field") != 0});
+        }
+      };
+      for_each_type_decl(p.code, "Mutex", collect);
+      for_each_type_decl(p.code, "mutex", collect);
+      // ... and the names every RD_* capability annotation references.
+      for (const char* a :
+           {"RD_GUARDED_BY", "RD_PT_GUARDED_BY", "RD_REQUIRES", "RD_ACQUIRE",
+            "RD_RELEASE", "RD_TRY_ACQUIRE", "RD_EXCLUDES"}) {
+        const std::string macro(a);
+        std::size_t mpos = 0;
+        while ((mpos = p.code.find(macro, mpos)) != std::string::npos) {
+          const bool lb = mpos == 0 || !ident_char(p.code[mpos - 1]);
+          std::size_t j = mpos + macro.size();
+          mpos += macro.size();
+          if (!lb || j >= p.code.size() || p.code[j] != '(') continue;
+          const std::size_t close = p.code.find(')', j);
+          const std::string args =
+              p.code.substr(j + 1, close == std::string::npos
+                                       ? std::string::npos
+                                       : close - j - 1);
+          std::string id;
+          for (std::size_t k = 0; k <= args.size(); ++k) {
+            if (k < args.size() && ident_char(args[k])) {
+              id += args[k];
+            } else if (!id.empty()) {
+              annotation_refs.insert(id);
+              id.clear();
+            }
+          }
+        }
+      }
+    }
+
+    if (pend_atomic.active) {
+      if (p.code.find("memory_order") != std::string::npos) {
+        pend_atomic.seen_order = true;
+      }
+      for (char c : p.code) {
+        if (c == '(') ++pend_atomic.depth;
+        if (c == ')' && --pend_atomic.depth == 0) break;
+      }
+      if (pend_atomic.depth <= 0) {
+        if (!pend_atomic.seen_order && !pend_atomic.suppressed) {
+          ctx.out->push_back(
+              {path.string(), pend_atomic.line, "atomic-order",
+               "atomic operation without an explicit std::memory_order; "
+               "seq-cst-by-default hides the intended ordering — say "
+               "relaxed/acquire/release"});
+        }
+        pend_atomic.active = false;
+      }
+    } else if (conc_scope) {
+      for (const char* op :
+           {"load", "store", "exchange", "fetch_add", "fetch_sub",
+            "fetch_and", "fetch_or", "fetch_xor", "compare_exchange_weak",
+            "compare_exchange_strong"}) {
+        std::size_t open = 0;
+        if (!find_method_call(p.code, op, &open)) continue;
+        int depth = 0;
+        bool closed = false;
+        std::size_t i = open;
+        for (; i < p.code.size(); ++i) {
+          if (p.code[i] == '(') ++depth;
+          if (p.code[i] == ')' && --depth == 0) {
+            closed = true;
+            break;
+          }
+        }
+        const std::string args =
+            p.code.substr(open, closed ? i - open + 1 : std::string::npos);
+        const bool seen = args.find("memory_order") != std::string::npos;
+        if (closed) {
+          if (!seen) {
+            report("atomic-order",
+                   std::string("atomic ") + op +
+                       " without an explicit std::memory_order; "
+                       "seq-cst-by-default hides the intended ordering — "
+                       "say relaxed/acquire/release");
+          }
+        } else {
+          pend_atomic = {true, lineno, depth, seen,
+                         allowed.count("atomic-order") != 0 ||
+                             file_allowed(rel, "atomic-order")};
+        }
+        break;  // one finding per line is enough
+      }
+    }
+
+    {
+      std::size_t open = 0;
+      if (find_method_call(p.code, "detach", &open)) {
+        report("no-detach",
+               "std::thread::detach leaks a running thread past its "
+               "owner; every thread must be joined (see MemoryService "
+               "workers / ThreadPool)");
+      }
+      for (const char* pat : {"new std::thread", "new thread"}) {
+        const std::size_t np = p.code.find(pat);
+        if (np == std::string::npos) continue;
+        const bool lb = np == 0 || !ident_char(p.code[np - 1]);
+        const std::size_t e = np + std::strlen(pat);
+        const bool rb = e >= p.code.size() || !ident_char(p.code[e]);
+        if (lb && rb) {
+          report("no-detach",
+                 "naked `new std::thread`; threads live in joining "
+                 "containers (std::vector<std::thread> + join), never "
+                 "behind raw new");
+          break;
+        }
+      }
+    }
+
     // --- env-var registry -------------------------------------------------
     for (const std::string& s : p.strings) {
       std::size_t pos = 0;
@@ -464,6 +708,19 @@ void scan_file(const fs::path& path, const FileScope& scope,
         pos = end;
       }
     }
+  }
+
+  // End of file: every collected `_mu` capability must have been named by
+  // at least one RD_* annotation, else it guards nothing.
+  for (const MutexDecl& d : mutex_decls) {
+    if (d.suppressed || annotation_refs.count(d.name) != 0) continue;
+    if (file_allowed(rel, "guarded-field")) continue;
+    ctx.out->push_back(
+        {path.string(), d.line, "guarded-field",
+         "mutex member '" + d.name +
+             "' is referenced by no RD_GUARDED_BY/RD_REQUIRES/RD_ACQUIRE "
+             "annotation in this file — annotate the fields it guards "
+             "(see common/thread_annotations.h)"});
   }
 }
 
@@ -493,7 +750,7 @@ std::string rel_to(const fs::path& p, const fs::path& root) {
   return rel;
 }
 
-int run_repo_scan(const fs::path& root) {
+int run_repo_scan(const fs::path& root, std::size_t max_findings) {
   std::vector<Finding> findings;
   ScanContext ctx;
   ctx.out = &findings;
@@ -526,9 +783,19 @@ int run_repo_scan(const fs::path& root) {
       }
     }
   }
+  // --max-findings truncates the per-finding listing only: the summary
+  // line below always carries the exact total, and the exit code is
+  // unaffected, so CI logs stay short without hiding the verdict.
+  std::size_t printed = 0;
   for (const Finding& f : findings) {
+    if (max_findings != 0 && printed == max_findings) {
+      std::printf("... %zu more finding(s) suppressed by --max-findings\n",
+                  findings.size() - printed);
+      break;
+    }
     std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
+    ++printed;
   }
   std::printf("readduo_lint: %zu files scanned, %zu violation(s)\n", nfiles,
               findings.size());
@@ -585,14 +852,32 @@ int run_selftest(const fs::path& dir) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  std::size_t max_findings = 0;  // 0 = print everything
+  for (auto it = args.begin(); it != args.end();) {
+    static const std::string kFlag = "--max-findings=";
+    if (it->rfind(kFlag, 0) == 0) {
+      const std::string value = it->substr(kFlag.size());
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr, "readduo_lint: bad %s'%s'\n", kFlag.c_str(),
+                     value.c_str());
+        return 2;
+      }
+      max_findings = static_cast<std::size_t>(v);
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
   if (args.size() == 2 && args[0] == "--selftest") {
     return run_selftest(args[1]);
   }
   if (args.size() == 1) {
-    return run_repo_scan(args[0]);
+    return run_repo_scan(args[0], max_findings);
   }
   std::fprintf(stderr,
-               "usage: readduo_lint <repo-root> | readduo_lint --selftest "
-               "<fixture-dir>\n");
+               "usage: readduo_lint [--max-findings=N] <repo-root> | "
+               "readduo_lint --selftest <fixture-dir>\n");
   return 2;
 }
