@@ -45,8 +45,9 @@ bench_times=$(mktemp)
 kernel_json=$(mktemp)
 scaling_times=$(mktemp)
 service_json=$(mktemp)
+service_net_json=$(mktemp)
 trap 'rm -f "$harness_log" "$bench_times" "$kernel_json" "$scaling_times" \
-            "$service_json"' EXIT
+            "$service_json" "$service_net_json"' EXIT
 
 # Record the cache state before the sweep touches it: a warm bench_cache/
 # replays the heavy sims, so the per-bench numbers mean something different.
@@ -116,6 +117,36 @@ if [ -n "$json_out" ]; then
   echo "----- readduo_load: $(( svc_end - svc_start )) ms"
 fi
 
+# Wire-path latency sample: the same fixed-seed run served over a socket
+# (readduo_serve --oneshot, three readduo_load --connect clients). Its
+# virtual-time percentiles must match the in-process "service" section
+# bit-for-bit (DESIGN.md §12); only wall-clock and the wire transport
+# counters differ.
+if [ -n "$json_out" ]; then
+  if [ ! -x ./build/tools/readduo_serve ]; then
+    cmake --build build --target readduo_serve -j
+  fi
+  echo "##### service_net: readduo_serve + readduo_load --connect #####"
+  net_start=$(now_ms)
+  serve_sock="unix:$(mktemp -u)"
+  serve_log=$(mktemp)
+  ./build/tools/readduo_serve --oneshot --seed=7 \
+      --listen="$serve_sock" > "$serve_log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "READDUO_SERVE listening" "$serve_log" 2>/dev/null && break
+    sleep 0.1
+  done
+  ./build/tools/readduo_load --connect="$serve_sock" --clients=3 \
+      --requests=200000 --report-every=0 --seed=7 \
+      --summary="$service_net_json" > /dev/null
+  wait "$serve_pid"
+  rm -f "$serve_log"
+  net_end=$(now_ms)
+  echo "----- readduo_serve + readduo_load --connect:" \
+       "$(( net_end - net_start )) ms"
+fi
+
 # Roll up the harness self-metrics every bench printed at exit.
 awk '
   /^== harness:/ {
@@ -147,7 +178,8 @@ if [ -n "$json_out" ]; then
       -v kernelfile="$kernel_json" \
       -v scalingfile="$scaling_times" \
       -v scalingbench="bench_fig6" \
-      -v servicefile="$service_json" '
+      -v servicefile="$service_json" \
+      -v servicenetfile="$service_net_json" '
   BEGIN {
     # Per-bench wall-clock, in run order.
     npb = 0
@@ -167,6 +199,9 @@ if [ -n "$json_out" ]; then
     # line); it is inlined verbatim under "service" with re-indentation.
     nsv = 0
     while ((getline line < servicefile) > 0) svc[++nsv] = line
+    # Same for the wire-path run ("service_net").
+    nsn = 0
+    while ((getline line < servicenetfile) > 0) svn[++nsn] = line
     # Kernel_<name>_{ref,opt,vec} real_time entries plus the custom
     # context keys (active tier / SIMD level) from the google-benchmark
     # JSON report. bench_micro registers one triple per rewritten kernel.
@@ -218,6 +253,15 @@ if [ -n "$json_out" ]; then
         line = svc[i]
         if (i == 1)        printf "%s\n", line          # "{"
         else if (i == nsv) printf "  %s,\n", line       # "}" -> "  },"
+        else               printf "  %s\n", line
+      }
+    }
+    if (nsn > 0) {
+      printf "  \"service_net\": "
+      for (i = 1; i <= nsn; ++i) {
+        line = svn[i]
+        if (i == 1)        printf "%s\n", line          # "{"
+        else if (i == nsn) printf "  %s,\n", line       # "}" -> "  },"
         else               printf "  %s\n", line
       }
     }

@@ -131,6 +131,14 @@ if [ "${SKIP_SANITIZER_SMOKE:-0}" != "1" ]; then
     && READDUO_INSTR=50000 READDUO_CACHE=0 ./build-ubsan/bench/bench_fig9 \
        > /dev/null \
     || failures=$((failures + 1))
+
+  # The wire codec parses attacker-shaped bytes (length fields, offsets,
+  # CRCs), so its round-trip + malformed-frame corpus runs under UBSan
+  # too: any shift/overflow/OOB in the framing layer trips here.
+  step "sanitizer smoke: UBSan test_wire (frame codec corpus)"
+  cmake --build build-ubsan --target test_wire -j \
+    && ./build-ubsan/tests/test_wire --gtest_brief=1 \
+    || failures=$((failures + 1))
 fi
 
 step "static analysis: $failures failing stage(s)"

@@ -31,6 +31,14 @@
 #      violations) and the same fixed-seed service soak under TSan, with
 #      its virtual-time metrics pinned against the plain run.
 #      READDUO_TSAN_SOAK=0 skips just the TSan half of this lane.
+#   8. A socket soak: readduo_serve (--oneshot) with three readduo_load
+#      --connect clients pushing the same fixed-seed 100k-request stream
+#      over the wire, under 1 and 4 server worker threads. Both runs'
+#      virtual-time metrics must be bit-identical to each other AND to
+#      the in-process run of the same seed — the sequence-merge contract
+#      (DESIGN.md §12): socket interleaving must not be observable. The
+#      THREADS=4 run repeats with a TSan-built server unless
+#      READDUO_TSAN_SOAK=0.
 #
 # Usage: ./run_test_sweep.sh [build-dir] [ctest -R regex]
 #   (default: build, all tests)
@@ -143,6 +151,68 @@ if [ "${READDUO_TSAN_SOAK:-1}" != "0" ]; then
 else
   echo "READDUO_TSAN_SOAK=0 — skipping the TSan service soak"
 fi
+
+step "socket soak: readduo_serve + readduo_load --connect, THREADS=1 vs =4"
+for bin in readduo_serve readduo_load; do
+  if [ ! -x "$BUILD/tools/$bin" ]; then
+    cmake --build "$BUILD" --target "$bin" -j || exit 1
+  fi
+done
+net_dir=$(mktemp -d)
+
+# Start a oneshot server on $2, wait for readiness, push 100k requests
+# through 3 wire clients with the load generator from $3, reap the server.
+wire_soak() {
+  local threads=$1 sock=$2 load_tree=$3 tag=$4
+  READDUO_THREADS=$threads "$load_tree/tools/readduo_serve" --oneshot \
+    --seed=7 --listen="$sock" > "$net_dir/serve_$tag.log" 2>&1 &
+  local serve_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "READDUO_SERVE listening" "$net_dir/serve_$tag.log" 2>/dev/null \
+      && break
+    sleep 0.1
+  done
+  "$BUILD/tools/readduo_load" --connect="$sock" --clients=3 \
+    --requests=100000 --report-every=0 --seed=7 \
+    --summary="$net_dir/wire_$tag.json" > /dev/null \
+    || failures=$((failures + 1))
+  wait "$serve_pid" || failures=$((failures + 1))
+}
+
+echo "-- readduo_load 100k requests (in-process reference)"
+"$BUILD/tools/readduo_load" --requests=100000 --report-every=0 --seed=7 \
+  --summary="$net_dir/inproc.json" > /dev/null || failures=$((failures + 1))
+for t in 1 4; do
+  echo "-- readduo_serve + 3 wire clients, 100k requests (READDUO_THREADS=$t)"
+  wire_soak "$t" "unix:$net_dir/serve_$t.sock" "$BUILD" "$t"
+done
+# Virtual-time metrics must be bit-identical across server thread counts
+# AND against the in-process path: only wall-clock, backpressure, and the
+# wire transport counters may differ (DESIGN.md §12).
+wire_filter='wall|spins|rejected|threads|wire'
+for pair in "wire_1:wire_4" "inproc:wire_1"; do
+  a=${pair%%:*}; b=${pair#*:}
+  if ! diff <(grep -Ev "$wire_filter" "$net_dir/$a.json") \
+            <(grep -Ev "$wire_filter" "$net_dir/$b.json"); then
+    echo "socket soak: $a and $b metrics diverge"
+    failures=$((failures + 1))
+  fi
+done
+if [ "${READDUO_TSAN_SOAK:-1}" != "0" ]; then
+  cmake -B build-tsan -S . -DREADDUO_SANITIZE=thread > /dev/null \
+    && cmake --build build-tsan --target readduo_serve -j \
+    || failures=$((failures + 1))
+  echo "-- readduo_serve (TSan build) + 3 wire clients (READDUO_THREADS=4)"
+  wire_soak 4 "unix:$net_dir/serve_tsan.sock" build-tsan tsan
+  if ! diff <(grep -Ev "$wire_filter" "$net_dir/wire_4.json") \
+            <(grep -Ev "$wire_filter" "$net_dir/wire_tsan.json"); then
+    echo "socket soak: TSan server metrics diverge from plain build"
+    failures=$((failures + 1))
+  fi
+else
+  echo "READDUO_TSAN_SOAK=0 — skipping the TSan socket soak"
+fi
+rm -rf "$net_dir"
 
 step "test sweep: $failures failing stage(s)"
 exit "$((failures > 0))"

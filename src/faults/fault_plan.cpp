@@ -138,6 +138,7 @@ const char* fault_class_name(FaultClass c) {
     case FaultClass::kBchError: return "bch";
     case FaultClass::kCacheCorrupt: return "cache";
     case FaultClass::kTraceShortRead: return "trace";
+    case FaultClass::kWireCorrupt: return "wire";
   }
   return "?";
 }
@@ -149,7 +150,7 @@ bool FaultPlan::affects_simulation() const {
 
 bool FaultPlan::any() const {
   return affects_simulation() || cache_p > 0.0 || trace_p > 0.0 ||
-         trace_fail_reads > 0;
+         trace_fail_reads > 0 || wire_p > 0.0;
 }
 
 bool operator==(const FaultPlan& a, const FaultPlan& b) {
@@ -159,7 +160,8 @@ bool operator==(const FaultPlan& a, const FaultPlan& b) {
          a.lwt_vec_p == b.lwt_vec_p && a.lwt_ind_p == b.lwt_ind_p &&
          a.bch_p == b.bch_p && a.bch_e == b.bch_e &&
          a.cache_p == b.cache_p && a.cache_truncate == b.cache_truncate &&
-         a.trace_p == b.trace_p && a.trace_fail_reads == b.trace_fail_reads;
+         a.trace_p == b.trace_p &&
+         a.trace_fail_reads == b.trace_fail_reads && a.wire_p == b.wire_p;
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
@@ -243,6 +245,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       cls = FaultClass::kCacheCorrupt;
     } else if (name == "trace") {
       cls = FaultClass::kTraceShortRead;
+    } else if (name == "wire") {
+      cls = FaultClass::kWireCorrupt;
     } else {
       RD_CHECK_MSG(false, "READDUO_FAULTS: unknown clause '" << clause
                                                              << "'");
@@ -321,6 +325,13 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         }
         break;
       }
+      case FaultClass::kWireCorrupt: {
+        const KvList kvs = parse_kvs(clause, body, {"p"});
+        RD_CHECK_MSG(kvs.has("p"),
+                     "READDUO_FAULTS clause '" << clause << "': needs p=");
+        plan.wire_p = parse_prob(clause, kvs.get("p"));
+        break;
+      }
       case FaultClass::kStuckCell:
         break;  // handled above
     }
@@ -359,6 +370,7 @@ std::string FaultPlan::canonical() const {
       os << "n=" << trace_fail_reads;
     }
   }
+  if (wire_p > 0.0) os << ";wire:p=" << render_real(wire_p);
   return os.str();
 }
 

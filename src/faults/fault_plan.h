@@ -11,7 +11,7 @@
 //   spec    := clause (';' clause)*         empty clauses are skipped
 //   clause  := 'seed=' <uint> | class (':' kv (',' kv)*)?
 //   class   := 'stuck' | 'sense' | 'lwt-vec' | 'lwt-ind'
-//            | 'bch' | 'cache' | 'trace'
+//            | 'bch' | 'cache' | 'trace' | 'wire'
 //   kv      := key '=' value
 //
 // When the READDUO_FAULTS value names an existing file, the spec is read
@@ -28,6 +28,9 @@
 //   trace   p=<prob> n=<attempts>      trace-file short reads (n > 0:
 //                                      deterministically fail the first n
 //                                      load attempts instead of drawing p)
+//   wire    p=<prob>                   frame-payload corruption at the
+//                                      readduo_serve socket boundary (the
+//                                      CRC catches it; the client retries)
 #pragma once
 
 #include <cstddef>
@@ -47,9 +50,10 @@ enum class FaultClass : unsigned {
   kBchError,        ///< "bch": 9..17-bit bursts at the detection boundary
   kCacheCorrupt,    ///< "cache": garbled/truncated bench_cache entries
   kTraceShortRead,  ///< "trace": trace-file short reads
+  kWireCorrupt,     ///< "wire": inbound frame-payload corruption
 };
 
-inline constexpr std::size_t kNumFaultClasses = 7;
+inline constexpr std::size_t kNumFaultClasses = 8;
 
 /// The spec keyword of a class ("stuck", "sense", ...).
 const char* fault_class_name(FaultClass c);
@@ -94,9 +98,14 @@ struct FaultPlan {
   double trace_p = 0.0;
   unsigned trace_fail_reads = 0;  ///< fail the first n attempts outright
 
+  // wire
+  double wire_p = 0.0;
+
   /// True when any injector can perturb simulation results (stuck, sense,
-  /// lwt-*, bch). Harness-only faults (cache, trace) never change what a
-  /// run computes, only how the harness gets there.
+  /// lwt-*, bch). Harness-only faults (cache, trace, wire) never change
+  /// what a run computes, only how the harness gets there — a corrupted
+  /// frame is caught by the CRC and resent, so the admitted request
+  /// sequence (and every virtual-time metric) is unchanged.
   bool affects_simulation() const;
 
   /// True when any class can fire at all.

@@ -21,6 +21,7 @@ constexpr std::uint64_t kSaltLwtInd = 0x5a5a0005d00dfeedull;
 constexpr std::uint64_t kSaltBch = 0x5a5a0006d00dfeedull;
 constexpr std::uint64_t kSaltCache = 0x5a5a0007d00dfeedull;
 constexpr std::uint64_t kSaltTrace = 0x5a5a0008d00dfeedull;
+constexpr std::uint64_t kSaltWire = 0x5a5a0009d00dfeedull;
 
 /// splitmix64 finalizer: the avalanche step used throughout the repo for
 /// stable hashing of addresses.
@@ -37,15 +38,18 @@ std::uint64_t mix(std::uint64_t k1, std::uint64_t k2, std::uint64_t k3) {
   return mix64(h ^ k3);
 }
 
-/// FNV-1a for string keys (cache keys, trace paths).
-std::uint64_t fnv1a(const std::string& s) {
+/// FNV-1a for raw bytes (frame payloads) and string keys (cache keys,
+/// trace paths).
+std::uint64_t fnv1a(const char* p, std::size_t n) {
   std::uint64_t h = 0xcbf29ce484222325ull;
-  for (unsigned char c : s) {
-    h ^= c;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
     h *= 0x100000001b3ull;
   }
   return h;
 }
+
+std::uint64_t fnv1a(const std::string& s) { return fnv1a(s.data(), s.size()); }
 
 }  // namespace
 
@@ -198,6 +202,20 @@ bool FaultEngine::trace_short_read(const std::string& path, unsigned attempt,
     }
   }
   bytes.resize(cut);
+  return true;
+}
+
+bool FaultEngine::wire_corrupt(char* bytes, std::size_t n,
+                               std::uint64_t serial) const {
+  if (plan_.wire_p <= 0.0 || n == 0) return false;
+  Rng s = stream(kSaltWire, fnv1a(bytes, n), serial);
+  if (!s.bernoulli(plan_.wire_p)) return false;
+  bump(FaultClass::kWireCorrupt);
+  // XOR with a nonzero mask: the payload always changes, so the CRC
+  // always catches it — the fault never silently passes through.
+  const std::size_t at = static_cast<std::size_t>(s.uniform_below(n));
+  bytes[at] = static_cast<char>(
+      bytes[at] ^ static_cast<char>(1 + s.uniform_below(255)));
   return true;
 }
 

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -79,6 +80,16 @@ class FaultEngine {
   /// a bounded retry can succeed when the plan is probabilistic.
   bool trace_short_read(const std::string& path, unsigned attempt,
                         std::string& bytes) const;
+
+  /// Corrupt `n` payload bytes of an inbound frame at the readduo_serve
+  /// boundary; true when a byte was flipped. The decision is keyed by
+  /// (payload content hash, per-connection frame serial) — stable
+  /// identifiers, so a plan reproduces the same corruptions regardless
+  /// of connection accept order or thread scheduling. Only payload bytes
+  /// are touched (the header stays trustable), so every hit lands on the
+  /// CRC-reject path: the server answers kBadFrame and the connection —
+  /// and the run's virtual-time results — survive unchanged.
+  bool wire_corrupt(char* bytes, std::size_t n, std::uint64_t serial) const;
 
   // ------------------------------------------------------ counters ---
 

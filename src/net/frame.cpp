@@ -1,0 +1,207 @@
+#include "net/frame.h"
+
+#include <array>
+
+namespace rd::net {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+std::uint16_t get_u16le(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64le(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_u32le(p)) |
+         (static_cast<std::uint64_t>(get_u32le(p + 4)) << 32);
+}
+
+void put_u16(std::string& s, std::uint16_t v) {
+  s.push_back(static_cast<char>(v & 0xFF));
+  s.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kFrame: return "frame";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadReserved: return "bad-reserved";
+    case DecodeStatus::kOversize: return "oversize";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+  }
+  return "?";
+}
+
+void encode_frame(std::uint8_t type, std::uint64_t id,
+                  std::string_view payload, std::string& out) {
+  out.reserve(out.size() + kHeaderSize + payload.size());
+  put_u16(out, kMagic);
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, id);
+  put_u32(out, crc32(payload));
+  put_u32(out, 0);  // reserved
+  out.append(payload);
+}
+
+DecodeStatus frame_extent(const std::string& buf, std::size_t max_payload,
+                          std::size_t& total) {
+  if (buf.size() < kHeaderSize) {
+    // A short buffer can still be rejected early: the magic (and version)
+    // are wrong as soon as their bytes are present.
+    const auto* p = reinterpret_cast<const unsigned char*>(buf.data());
+    if (buf.size() >= 2 && get_u16le(p) != kMagic) {
+      return DecodeStatus::kBadMagic;
+    }
+    if (buf.size() >= 3 && p[2] != kVersion) {
+      return DecodeStatus::kBadVersion;
+    }
+    return DecodeStatus::kNeedMore;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(buf.data());
+  if (get_u16le(p) != kMagic) return DecodeStatus::kBadMagic;
+  if (p[2] != kVersion) return DecodeStatus::kBadVersion;
+  const std::uint32_t len = get_u32le(p + 4);
+  if (len > max_payload) return DecodeStatus::kOversize;
+  if (get_u32le(p + 20) != 0) return DecodeStatus::kBadReserved;
+  total = kHeaderSize + len;
+  if (buf.size() < total) return DecodeStatus::kNeedMore;
+  return DecodeStatus::kFrame;
+}
+
+DecodeStatus decode_frame(std::string& buf, std::size_t max_payload,
+                          Frame& out) {
+  std::size_t total = 0;
+  const DecodeStatus st = frame_extent(buf, max_payload, total);
+  if (st != DecodeStatus::kFrame) return st;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf.data());
+  out.type = p[3];
+  out.id = get_u64le(p + 8);
+  const std::uint32_t want_crc = get_u32le(p + 16);
+  const std::string_view payload(buf.data() + kHeaderSize,
+                                 total - kHeaderSize);
+  if (crc32(payload) != want_crc) {
+    out.payload.clear();
+    buf.erase(0, total);
+    return DecodeStatus::kBadCrc;
+  }
+  out.payload.assign(payload);
+  buf.erase(0, total);
+  return DecodeStatus::kFrame;
+}
+
+void put_u8(std::string& s, std::uint8_t v) {
+  s.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    s.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& s, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    s.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_i64(std::string& s, std::int64_t v) {
+  put_u64(s, static_cast<std::uint64_t>(v));
+}
+
+const unsigned char* PayloadReader::take(std::size_t n) {
+  if (!ok_ || s_.size() - off_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(s_.data()) + off_;
+  off_ += n;
+  return p;
+}
+
+std::uint8_t PayloadReader::u8() {
+  const unsigned char* p = take(1);
+  return p ? *p : 0;
+}
+
+std::uint32_t PayloadReader::u32() {
+  const unsigned char* p = take(4);
+  return p ? get_u32le(p) : 0;
+}
+
+std::uint64_t PayloadReader::u64() {
+  const unsigned char* p = take(8);
+  return p ? get_u64le(p) : 0;
+}
+
+std::int64_t PayloadReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+
+std::string encode_request_body(const RequestBody& b) {
+  std::string s;
+  put_u64(s, b.seq);
+  put_u64(s, b.line);
+  put_i64(s, b.arrival.v);
+  return s;
+}
+
+bool decode_request_body(std::string_view payload, RequestBody& b) {
+  PayloadReader r(payload);
+  b.seq = r.u64();
+  b.line = r.u64();
+  b.arrival = Ns{r.i64()};
+  return r.done();
+}
+
+std::string encode_completion_body(const CompletionBody& b) {
+  std::string s;
+  put_u8(s, b.cls);
+  put_i64(s, b.enqueue.v);
+  put_i64(s, b.complete.v);
+  return s;
+}
+
+bool decode_completion_body(std::string_view payload, CompletionBody& b) {
+  PayloadReader r(payload);
+  b.cls = r.u8();
+  b.enqueue = Ns{r.i64()};
+  b.complete = Ns{r.i64()};
+  return r.done();
+}
+
+}  // namespace rd::net

@@ -1,0 +1,129 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace rd::net {
+
+namespace {
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  RD_CHECK_MSG(path.size() < sizeof(sa.sun_path),
+               "unix socket path too long: " << path);
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+sockaddr_in make_tcp_addr(const ParsedAddr& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(a.port);
+  RD_CHECK_MSG(inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) == 1,
+               "tcp host must be a dotted-quad address: " << a.host);
+  return sa;
+}
+
+}  // namespace
+
+ParsedAddr parse_addr(const std::string& addr) {
+  ParsedAddr out;
+  if (addr.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = addr.substr(5);
+    RD_CHECK_MSG(!out.path.empty(), "unix address needs a path: " << addr);
+    return out;
+  }
+  if (addr.rfind("tcp:", 0) == 0) {
+    out.is_unix = false;
+    const std::string rest = addr.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    RD_CHECK_MSG(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < rest.size(),
+                 "tcp address must be tcp:<host>:<port>: " << addr);
+    out.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    std::uint32_t p = 0;
+    for (char c : port) {
+      RD_CHECK_MSG(c >= '0' && c <= '9' && (p = p * 10 + (c - '0')) <= 65535,
+                   "bad tcp port: " << addr);
+    }
+    out.port = static_cast<std::uint16_t>(p);
+    return out;
+  }
+  RD_CHECK_MSG(false, "address must be unix:<path> or tcp:<host>:<port>: "
+                          << addr);
+  return out;
+}
+
+int listen_on(const ParsedAddr& addr, std::string& bound) {
+  int fd = -1;
+  if (addr.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    RD_CHECK_MSG(fd >= 0, "socket(AF_UNIX): " << std::strerror(errno));
+    ::unlink(addr.path.c_str());  // stale socket from a dead server
+    const sockaddr_un sa = make_unix_addr(addr.path);
+    RD_CHECK_MSG(::bind(fd, reinterpret_cast<const sockaddr*>(&sa),
+                        sizeof(sa)) == 0,
+                 "bind(" << addr.path << "): " << std::strerror(errno));
+    bound = "unix:" + addr.path;
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    RD_CHECK_MSG(fd >= 0, "socket(AF_INET): " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa = make_tcp_addr(addr);
+    RD_CHECK_MSG(::bind(fd, reinterpret_cast<const sockaddr*>(&sa),
+                        sizeof(sa)) == 0,
+                 "bind(tcp:" << addr.host << ":" << addr.port
+                             << "): " << std::strerror(errno));
+    socklen_t len = sizeof(sa);
+    RD_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) == 0);
+    bound = "tcp:" + addr.host + ":" + std::to_string(ntohs(sa.sin_port));
+  }
+  RD_CHECK_MSG(::listen(fd, 64) == 0, "listen: " << std::strerror(errno));
+  set_nonblocking(fd);
+  return fd;
+}
+
+int connect_to(const std::string& addr) {
+  const ParsedAddr a = parse_addr(addr);
+  int fd = -1;
+  if (a.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    RD_CHECK_MSG(fd >= 0, "socket(AF_UNIX): " << std::strerror(errno));
+    const sockaddr_un sa = make_unix_addr(a.path);
+    RD_CHECK_MSG(::connect(fd, reinterpret_cast<const sockaddr*>(&sa),
+                           sizeof(sa)) == 0,
+                 "connect(" << addr << "): " << std::strerror(errno));
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    RD_CHECK_MSG(fd >= 0, "socket(AF_INET): " << std::strerror(errno));
+    const sockaddr_in sa = make_tcp_addr(a);
+    RD_CHECK_MSG(::connect(fd, reinterpret_cast<const sockaddr*>(&sa),
+                           sizeof(sa)) == 0,
+                 "connect(" << addr << "): " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  RD_CHECK(flags >= 0);
+  RD_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+}  // namespace rd::net

@@ -1,0 +1,39 @@
+// Address parsing and socket plumbing for the wire front end.
+//
+// Addresses are strings of two forms:
+//   "unix:<path>"       — a Unix-domain stream socket at <path>
+//   "tcp:<host>:<port>" — TCP over loopback or a real interface;
+//                         port 0 asks the kernel for a free port, and
+//                         listen_on reports the resolved address back
+//                         (tests use "tcp:127.0.0.1:0").
+//
+// These helpers throw rd::CheckFailure on malformed addresses or socket
+// errors — tools turn that into a clean fatal diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rd::net {
+
+struct ParsedAddr {
+  bool is_unix = true;
+  std::string path;  ///< unix: socket path
+  std::string host;  ///< tcp: numeric or resolvable host
+  std::uint16_t port = 0;
+};
+
+/// Parse "unix:<path>" / "tcp:<host>:<port>". Throws on anything else.
+ParsedAddr parse_addr(const std::string& addr);
+
+/// Bind + listen. For unix addresses a stale socket file is unlinked
+/// first. Returns the listening fd (nonblocking) and writes the resolved
+/// address (tcp port filled in) to `bound`.
+int listen_on(const ParsedAddr& addr, std::string& bound);
+
+/// Blocking connect to an address string. Returns a connected fd.
+int connect_to(const std::string& addr);
+
+void set_nonblocking(int fd);
+
+}  // namespace rd::net

@@ -1,6 +1,7 @@
 #include "service/memory_service.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "common/env.h"
@@ -81,6 +82,108 @@ bool MemoryService::submit(const Request& req) {
   return true;
 }
 
+bool MemoryService::register_client(std::uint64_t client) {
+  if (client == 0) return false;
+  MutexLock g(seq_mu_);
+  const bool fresh = clients_.emplace(client, ClientState{}).second;
+  if (fresh) seq_quiesce_.store(false, std::memory_order_relaxed);
+  return fresh;
+}
+
+std::size_t MemoryService::release_ready() {
+  // The gate: nothing past the minimum active watermark may move. A
+  // registered client that has not submitted yet has watermark -inf
+  // (anything it sends later could sort anywhere), so it blocks all
+  // releases until it speaks or finishes.
+  bool have_floor = false;
+  SeqKey floor{};
+  for (const auto& [id, cs] : clients_) {
+    if (cs.done) continue;
+    if (cs.last_seq == 0) return 0;
+    const SeqKey wm{cs.last_arrival, id, cs.last_seq};
+    if (!have_floor || wm < floor) {
+      floor = wm;
+      have_floor = true;
+    }
+  }
+  // No active client left: sequenced admission is closed, so workers may
+  // step the in-flight tail to completion (see seq_quiesce_).
+  seq_quiesce_.store(!clients_.empty() && !have_floor,
+                     std::memory_order_relaxed);
+  std::size_t released = 0;
+  while (!merge_buf_.empty()) {
+    const auto it = merge_buf_.begin();
+    if (have_floor && floor < it->first) break;
+    const Request& r = it->second;
+    Shard& sh = *shards_[shard_of(r.line)];
+    {
+      // seq_mu_ -> q_mu: pushing while holding seq_mu_ serializes
+      // concurrent releasers, so the per-shard FIFO order equals the
+      // merge order. Releases bypass the shard-queue capacity — the
+      // per-client held bound is the backpressure.
+      MutexLock g(sh.q_mu);
+      sh.q.push_back(r);
+      ++sh.submitted;
+    }
+    --clients_.at(it->first.client).held;
+    merge_buf_.erase(it);
+    ++released;
+  }
+  return released;
+}
+
+SubmitStatus MemoryService::submit_sequenced(std::uint64_t client,
+                                             std::uint64_t seq,
+                                             const Request& req) {
+  RD_CHECK(req.id != 0);
+  std::size_t released = 0;
+  {
+    MutexLock g(seq_mu_);
+    const auto it = clients_.find(client);
+    RD_CHECK_MSG(it != clients_.end(), "submit_sequenced: unknown client");
+    ClientState& cs = it->second;
+    if (cs.done || seq <= cs.last_seq ||
+        (seq == cs.last_seq + 1 && req.arrival.v < cs.last_arrival.v)) {
+      return SubmitStatus::kBadSeq;
+    }
+    if (seq > cs.last_seq + 1) return SubmitStatus::kOutOfOrder;
+    if (cs.held >= cfg_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return SubmitStatus::kQueueFull;
+    }
+    cs.last_seq = seq;
+    cs.last_arrival = req.arrival;
+    ++cs.held;
+    merge_buf_.emplace(SeqKey{req.arrival, client, seq}, req);
+    // Count toward quiescence from acceptance: drain() must cover
+    // requests still held in the merge buffer.
+    shards_[shard_of(req.line)]->pending.fetch_add(
+        1, std::memory_order_relaxed);
+    released = release_ready();
+  }
+  if (released > 0) signal();
+  return SubmitStatus::kAccepted;
+}
+
+void MemoryService::client_done(std::uint64_t client) {
+  {
+    MutexLock g(seq_mu_);
+    const auto it = clients_.find(client);
+    RD_CHECK_MSG(it != clients_.end(), "client_done: unknown client");
+    if (it->second.done) return;
+    it->second.done = true;
+    release_ready();
+  }
+  // Unconditional: even with nothing released, the last client_done may
+  // have flipped seq_quiesce_, and parked workers must see it.
+  signal();
+}
+
+std::vector<MemoryService::Completion> MemoryService::take_completions() {
+  MutexLock g(comp_mu_);
+  return std::exchange(completions_, {});
+}
+
 bool MemoryService::service_shard(Shard& sh) {
   // Pop one batch. Each shard has exactly one servicing worker, so the
   // submission queue is MPSC: producers contend on q_mu, this is the
@@ -97,6 +200,7 @@ bool MemoryService::service_shard(Shard& sh) {
 
   bool progressed = false;
   std::size_t harvested = 0;
+  std::vector<memsim::Simulator::Completion> done;
   {
     MutexLock g(sh.sim_mu);
     memsim::Simulator& sim = *sh.sim;
@@ -117,7 +221,8 @@ bool MemoryService::service_shard(Shard& sh) {
     }
     if (batch.empty() && sh.completed < sh.admitted &&
         (draining_.load(std::memory_order_relaxed) ||
-         stop_.load(std::memory_order_relaxed))) {
+         stop_.load(std::memory_order_relaxed) ||
+         seq_quiesce_.load(std::memory_order_relaxed))) {
       // Quiescing with requests still in flight: run the event loop a
       // bounded chunk at a time. In-flight scrub senses and rewrites
       // complete along the way; future scrub ticks are processed as
@@ -126,14 +231,22 @@ bool MemoryService::service_shard(Shard& sh) {
       }
       progressed = true;
     }
-    harvested = sim.take_completions().size();
+    done = sim.take_completions();
+    harvested = done.size();
     sh.completed += harvested;
     progressed = progressed || !batch.empty() || harvested > 0;
   }
   if (harvested > 0) {
+    if (cfg_.retain_completions) {
+      MutexLock g(comp_mu_);
+      completions_.insert(completions_.end(), done.begin(), done.end());
+    }
     sh.pending.fetch_sub(harvested, std::memory_order_relaxed);
   }
   if (progressed) signal();
+  // After signal(), with no service locks held: the hook may poke file
+  // descriptors or condition variables of its own.
+  if (harvested > 0 && cfg_.completion_hook) cfg_.completion_hook();
   return progressed;
 }
 
@@ -173,7 +286,8 @@ void MemoryService::worker_main(unsigned worker) {
       // would be analyzed as an unannotated function (see CondVar).
       while (!(stop_.load(std::memory_order_relaxed) ||
                epoch_.load(std::memory_order_acquire) != seen ||
-               (draining_.load(std::memory_order_relaxed) &&
+               ((draining_.load(std::memory_order_relaxed) ||
+                 seq_quiesce_.load(std::memory_order_relaxed)) &&
                 owned_pending(worker) > 0))) {
         state_cv_.wait(state_mu_);
       }
@@ -196,6 +310,17 @@ void MemoryService::drain() {
 
 void MemoryService::stop() {
   if (stopped_) return;
+  {
+    // No further sequenced submissions can arrive once we stop; flush
+    // the merge buffer in key order (still deterministic — it is the
+    // final set) so drain() cannot stall behind an abandoned client.
+    MutexLock g(seq_mu_);
+    for (auto& [id, cs] : clients_) {
+      (void)id;
+      cs.done = true;
+    }
+    release_ready();
+  }
   drain();
   stop_.store(true, std::memory_order_relaxed);
   signal();
@@ -213,6 +338,10 @@ void MemoryService::stop() {
 ServiceStats MemoryService::stats() const {
   ServiceStats st;
   st.rejected = rejected_.load(std::memory_order_relaxed);
+  {
+    MutexLock g(seq_mu_);
+    st.seq_held = merge_buf_.size();
+  }
   for (const auto& shp : shards_) {
     Shard& sh = *shp;
     {

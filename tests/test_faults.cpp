@@ -20,6 +20,7 @@
 #include "common/units.h"
 #include "faults/fault_plan.h"
 #include "harness.h"
+#include "net/frame.h"
 #include "pcm/chip.h"
 #include "readduo/schemes.h"
 #include "trace/trace_io.h"
@@ -88,7 +89,7 @@ TEST(FaultPlanParse, AllClassesAndSeed) {
   const FaultPlan p = FaultPlan::parse(
       "seed=99;stuck:p=0.1,level=0;sense:p=0.2,mag=0.75;lwt-vec:p=0.3;"
       "lwt-ind:p=0.4;bch:p=0.5,e=17;cache:p=0.6,mode=truncate;"
-      "trace:p=0.7,n=2");
+      "trace:p=0.7,n=2;wire:p=0.8");
   EXPECT_EQ(p.seed, 99u);
   EXPECT_DOUBLE_EQ(p.stuck_p, 0.1);
   EXPECT_EQ(p.stuck_level, 0u);
@@ -102,6 +103,7 @@ TEST(FaultPlanParse, AllClassesAndSeed) {
   EXPECT_TRUE(p.cache_truncate);
   EXPECT_DOUBLE_EQ(p.trace_p, 0.7);
   EXPECT_EQ(p.trace_fail_reads, 2u);
+  EXPECT_DOUBLE_EQ(p.wire_p, 0.8);
 }
 
 TEST(FaultPlanParse, ExplicitStuckAddresses) {
@@ -134,6 +136,8 @@ TEST(FaultPlanParse, CanonicalRoundTrips) {
       "stuck:line=1,cell=2,level=0;stuck:line=4,cell=9",
       "seed=42;sense:p=0.001,mag=0.5;bch:p=0.25,e=12",
       "lwt-vec:p=0.5;lwt-ind:p=0.25;cache:p=1,mode=truncate;trace:p=0.5,n=3",
+      "seed=11;wire:p=0.01",
+      "cache:p=0.5;trace:n=1;wire:p=0.125",
   };
   for (const char* s : specs) {
     const FaultPlan p = FaultPlan::parse(s);
@@ -158,6 +162,10 @@ TEST(FaultPlanParse, RejectsMalformedSpecsLoudly) {
       "sense:p=0.1,p=0.2",      // duplicate key
       "sense:p=0.1,foo=2",      // unknown key
       "stuck:line=1",           // explicit address needs line and cell
+      "wire",                   // wire needs p=
+      "wire:p=2",               // probability out of range
+      "wire:p=0.1,n=3",         // unknown key for wire
+      "wire:p=0.1;wire:p=0.2",  // duplicate clause
   };
   for (const char* s : bad) {
     EXPECT_THROW(FaultPlan::parse(s), CheckFailure) << s;
@@ -165,7 +173,7 @@ TEST(FaultPlanParse, RejectsMalformedSpecsLoudly) {
 }
 
 TEST(FaultPlanParse, HarnessOnlyClassesDoNotAffectSimulation) {
-  const FaultPlan p = FaultPlan::parse("cache:p=1;trace:p=1,n=2");
+  const FaultPlan p = FaultPlan::parse("cache:p=1;trace:p=1,n=2;wire:p=1");
   EXPECT_TRUE(p.any());
   EXPECT_FALSE(p.affects_simulation());
 }
@@ -225,6 +233,63 @@ TEST(FaultEngineDeterminism, BurstPositionsDistinctAndInRange) {
     }
   }
   EXPECT_GE(e.count(FaultClass::kBchError), 1u);
+}
+
+// --- wire-frame corruption (the socket front end's fault seam) --------------
+
+TEST(WireFaults, CorruptionIsDeterministicAndAlwaysChangesBytes) {
+  const FaultPlan plan = FaultPlan::parse("seed=7;wire:p=0.3");
+  const FaultEngine a(plan);
+  const FaultEngine b(plan);
+  unsigned fired = 0;
+  for (std::uint64_t serial = 0; serial < 256; ++serial) {
+    std::string pa = "payload bytes for frame corruption";
+    std::string pb = pa;
+    const std::string orig = pa;
+    const bool hit_a = a.wire_corrupt(pa.data(), pa.size(), serial);
+    const bool hit_b = b.wire_corrupt(pb.data(), pb.size(), serial);
+    // Decision and mutation are pure functions of (bytes, serial).
+    EXPECT_EQ(hit_a, hit_b);
+    EXPECT_EQ(pa, pb);
+    if (hit_a) {
+      ++fired;
+      // The XOR mask is nonzero by construction: a fired fault always
+      // changes the payload, so the CRC check always catches it.
+      EXPECT_NE(pa, orig);
+    } else {
+      EXPECT_EQ(pa, orig);
+    }
+  }
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, 256u);  // p=0.3 fires on some serials, not all
+  EXPECT_EQ(a.count(FaultClass::kWireCorrupt), fired);
+}
+
+TEST(WireFaults, DisabledPlanAndEmptyPayloadNeverFire) {
+  const FaultEngine off(FaultPlan::parse("cache:p=1"));
+  std::string bytes = "abc";
+  EXPECT_FALSE(off.wire_corrupt(bytes.data(), bytes.size(), 1));
+  EXPECT_EQ(bytes, "abc");
+
+  const FaultEngine on(FaultPlan::parse("wire:p=1"));
+  EXPECT_FALSE(on.wire_corrupt(bytes.data(), 0, 1));
+  EXPECT_EQ(on.count(FaultClass::kWireCorrupt), 0u);
+}
+
+TEST(WireFaults, CorruptedFrameAlwaysFailsCrc) {
+  // End-to-end over the codec: corrupt the payload region of a valid
+  // frame (exactly what the server seam does) and the decoder must
+  // report kBadCrc — the fault can never pass as a clean frame.
+  const FaultEngine e(FaultPlan::parse("wire:p=1"));
+  for (std::uint64_t serial = 0; serial < 64; ++serial) {
+    std::string buf;
+    net::encode_frame(net::Op::kRead, serial + 1, "0123456789abcdef", buf);
+    ASSERT_TRUE(e.wire_corrupt(buf.data() + net::kHeaderSize,
+                               buf.size() - net::kHeaderSize, serial));
+    net::Frame f;
+    EXPECT_EQ(net::decode_frame(buf, net::kDefaultMaxPayload, f),
+              net::DecodeStatus::kBadCrc);
+  }
 }
 
 // --- functional-chip seams --------------------------------------------------

@@ -16,16 +16,35 @@
 // for a fixed (seed, flags, READDUO_SERVICE_*) configuration regardless
 // of READDUO_THREADS or wall-clock scheduling; only the throughput lines
 // (requests per wall second) vary per host.
+//
+// Distributed mode (--connect=<addr>, DESIGN.md §12): instead of an
+// in-process service, N wire clients (--clients) drive a running
+// readduo_serve over the framed protocol. The request stream is
+// pregenerated with exactly the in-process draw order and split
+// round-robin: client k submits requests k, k+N, ... with per-client
+// seqs 1, 2, ... Because global arrivals strictly increase, the server's
+// sequence-merge rule reassembles precisely the in-process admission
+// order for any client count — so the final report (fetched from the
+// server, cross-checked bit-exactly against the merged client-side
+// completion histograms) matches an in-process run of the same seed.
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/wire_stats.h"
 #include "service/memory_service.h"
+#include "stats/histogram.h"
 #include "stats/json.h"
 #include "trace/workload.h"
 
@@ -52,6 +71,12 @@ void usage(const char* argv0) {
       "  --report-every=<n>     live report every n completions\n"
       "                         (default 100000; 0 = quiet)\n"
       "  --summary=<file>       also write the final JSON to <file>\n"
+      "  --connect=<addr>       distributed mode: drive a readduo_serve\n"
+      "                         at unix:<path> / tcp:<host>:<port>\n"
+      "  --clients=<n>          wire clients in --connect mode (default 1)\n"
+      "  --window=<n>           per-client in-flight bound (default 256)\n"
+      "  --crosscheck=<0|1>     verify server histograms against merged\n"
+      "                         client-side ones (default 1)\n"
       "\n"
       "environment:\n"
       "  READDUO_THREADS            service worker threads\n"
@@ -116,6 +141,287 @@ void live_report(const service::ServiceStats& st, double wall_s,
   std::fflush(stdout);
 }
 
+/// One pregenerated request (distributed mode). The draw order inside
+/// next_request is the contract shared with the in-process loop: change
+/// one and the wire/in-process bit-identity check fails.
+struct GenReq {
+  std::uint64_t line = 0;
+  Ns arrival{0};
+  bool is_write = false;
+  bool archive = false;
+};
+
+GenReq next_request(Rng& rng, Ns& t, Ns gap, double write_fraction,
+                    const trace::Workload& w) {
+  GenReq g;
+  g.arrival = t;
+  t += gap;
+  g.is_write = rng.bernoulli(write_fraction);
+  if (!g.is_write && rng.bernoulli(w.archive_read_fraction)) {
+    g.archive = true;
+    g.line = w.footprint_lines +
+             rng.uniform_below(std::max<std::uint64_t>(1, w.archive_lines));
+  } else {
+    g.line = rng.zipf(w.footprint_lines, w.zipf_s);
+  }
+  return g;
+}
+
+/// Client-side tallies of one wire client (its thread's exclusively).
+struct WireResult {
+  std::array<stats::LatencyHistogram, stats::kNumReqClasses> hist;
+  std::uint64_t retries = 0;
+  std::uint64_t completions = 0;
+};
+
+/// Register with the server. Every client must hello before ANY client
+/// submits — the sequence merge gates releases on all registered
+/// watermarks, so a late registration could interleave behind requests
+/// already admitted (run_connect hellos sequentially up front).
+void wire_hello(net::Client& cli, std::uint64_t client_id) {
+  std::string hello;
+  net::put_u64(hello, client_id);
+  for (;;) {
+    cli.send_frame(net::Op::kHello, 0, hello);
+    const net::Frame f = cli.recv_frame();
+    if (f.type == net::type_of(net::Status::kOk)) break;
+    // An injected wire fault can land on the hello body; resend.
+    RD_CHECK_MSG(f.type == net::type_of(net::Status::kBadFrame),
+                 "hello rejected by server");
+  }
+}
+
+/// Drive one already-helloed wire client over its round-robin slice of
+/// the stream: pipelined submission behind a bounded in-flight window
+/// with kRetry/kBadFrame resends, then drain.
+void run_wire_client(net::Client& cli, const std::vector<GenReq>& stream,
+                     std::size_t offset, std::size_t stride,
+                     std::size_t window, WireResult& out) {
+  // seq -> (opcode, body) of every unacknowledged submission.
+  std::map<std::uint64_t, std::pair<net::Op, net::RequestBody>> inflight;
+  const auto handle = [&cli, &inflight, &out](const net::Frame& f) {
+    if (f.type == net::type_of(net::Status::kDone)) {
+      net::CompletionBody b;
+      RD_CHECK_MSG(net::decode_completion_body(f.payload, b),
+                   "malformed completion body");
+      RD_CHECK(b.cls < stats::kNumReqClasses);
+      out.hist[b.cls].record(Ns{b.complete.v - b.enqueue.v});
+      ++out.completions;
+      RD_CHECK_MSG(inflight.erase(f.id) == 1, "stray completion id");
+      return;
+    }
+    if (f.type == net::type_of(net::Status::kRetry) ||
+        f.type == net::type_of(net::Status::kBadFrame)) {
+      // Backpressure, a seq gap behind a rejected frame, or an injected
+      // wire fault: resend the same seq. Replies arrive in server
+      // receive order, so resends re-close gaps in ascending order.
+      const auto it = inflight.find(f.id);
+      RD_CHECK_MSG(it != inflight.end(), "retry for unknown seq");
+      ++out.retries;
+      cli.send_frame(it->second.first, f.id,
+                     net::encode_request_body(it->second.second));
+      return;
+    }
+    RD_CHECK_MSG(false, "unexpected reply type "
+                            << static_cast<unsigned>(f.type));
+  };
+
+  std::uint64_t seq = 0;
+  for (std::size_t i = offset; i < stream.size(); i += stride) {
+    const GenReq& g = stream[i];
+    ++seq;
+    const net::Op op = g.is_write  ? net::Op::kWrite
+                       : g.archive ? net::Op::kScrub
+                                   : net::Op::kRead;
+    const net::RequestBody body{seq, g.line, g.arrival};
+    cli.send_frame(op, seq, net::encode_request_body(body));
+    inflight.emplace(seq, std::make_pair(op, body));
+    while (inflight.size() >= window) handle(cli.recv_frame());
+    net::Frame f;
+    while (cli.try_recv(f)) handle(f);
+  }
+  // Drain immediately — NOT after the window empties: the tail of
+  // completions only retires once the server knows every client is done
+  // (nothing else advances virtual time past the last arrival). The ack
+  // arrives after the outstanding completions, which `handle` keeps
+  // absorbing meanwhile.
+  const std::uint64_t drain_id = seq + 1;
+  std::string drain_body;
+  net::put_u64(drain_body, seq);
+  cli.send_frame(net::Op::kDrain, drain_id, drain_body);
+  bool drained = false;
+  while (!drained || !inflight.empty()) {
+    const net::Frame f = cli.recv_frame();
+    if (f.id == drain_id) {
+      if (f.type == net::type_of(net::Status::kOk)) {
+        drained = true;
+        continue;
+      }
+      // A wire fault can corrupt the drain frame itself; resend it.
+      RD_CHECK_MSG(f.type == net::type_of(net::Status::kBadFrame),
+                   "drain rejected by server");
+      cli.send_frame(net::Op::kDrain, drain_id, drain_body);
+      continue;
+    }
+    handle(f);
+  }
+}
+
+/// Everything the distributed-mode driver needs from flag parsing.
+struct ConnectRun {
+  std::string addr;
+  std::uint64_t requests = 0;
+  double rps = 0.0;
+  std::string scheme;
+  std::string workload;
+  double write_fraction = 0.0;
+  std::uint64_t seed = 0;
+  std::size_t clients = 1;
+  std::size_t window = 256;
+  bool crosscheck = true;
+  std::string summary_path;
+};
+
+/// Distributed mode: pregenerate the exact in-process request stream,
+/// split it round-robin over N wire clients, drive a readduo_serve, then
+/// report from the server's stats blob — cross-checked bit-exactly
+/// against the merged client-side completion histograms.
+int run_connect(const ConnectRun& rc, const trace::Workload& w) {
+  RD_CHECK(rc.clients >= 1);
+  RD_CHECK(rc.window >= 1);
+  std::printf(
+      "[load] connect=%s clients=%zu window=%zu rps=%.0f "
+      "write_fraction=%.3f requests=%llu seed=%llu\n",
+      rc.addr.c_str(), rc.clients, rc.window, rc.rps, rc.write_fraction,
+      static_cast<unsigned long long>(rc.requests),
+      static_cast<unsigned long long>(rc.seed));
+  std::fflush(stdout);
+
+  // Same stream, seed, and draw order as the in-process loop. Global
+  // arrivals strictly increase, so the server's (arrival, client, seq)
+  // merge reassembles exactly this order for any client count.
+  Rng rng(rc.seed, /*stream=*/0x10ad);
+  const Ns gap{std::max<std::int64_t>(1, from_seconds(1.0 / rc.rps).v)};
+  Ns t{0};
+  std::vector<GenReq> stream;
+  stream.reserve(rc.requests);
+  for (std::uint64_t i = 0; i < rc.requests; ++i) {
+    stream.push_back(next_request(rng, t, gap, rc.write_fraction, w));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<net::Client> conns(rc.clients);
+  for (std::size_t k = 0; k < rc.clients; ++k) {
+    conns[k] = net::Client::connect_to(rc.addr);
+    // Sequential hellos before any submission: every watermark must be
+    // registered before the first release (see wire_hello).
+    wire_hello(conns[k], /*client_id=*/k + 1);
+  }
+  std::vector<WireResult> results(rc.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(rc.clients);
+  for (std::size_t k = 0; k < rc.clients; ++k) {
+    threads.emplace_back([&, k] {
+      run_wire_client(conns[k], stream, /*offset=*/k,
+                      /*stride=*/rc.clients, rc.window, results[k]);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Every client has drained, so the server-side snapshot is final.
+  conns[0].send_frame(net::Op::kStats, 0, "");
+  const net::Frame sf = conns[0].recv_frame();
+  RD_CHECK_MSG(sf.type == net::type_of(net::Status::kStats),
+               "stats request rejected");
+  service::ServiceStats st;
+  net::WireServiceInfo info;
+  RD_CHECK_MSG(net::decode_stats(sf.payload, st, info),
+               "malformed stats blob");
+
+  for (net::Client& c : conns) {
+    c.send_frame(net::Op::kBye, 0, "");
+    // Ack, then orderly server-side close.
+    while (c.recv_opt().has_value()) {
+    }
+    c.close();
+  }
+
+  std::array<stats::LatencyHistogram, stats::kNumReqClasses> merged;
+  std::uint64_t retries = 0;
+  std::uint64_t completions = 0;
+  for (const WireResult& r : results) {
+    for (std::size_t c = 0; c < stats::kNumReqClasses; ++c) {
+      merged[c].merge(r.hist[c]);
+    }
+    retries += r.retries;
+    completions += r.completions;
+  }
+  RD_CHECK_MSG(completions == rc.requests,
+               "wire clients lost completions");
+  RD_CHECK_MSG(st.completed == rc.requests,
+               "server lost requests: completed != submitted");
+  if (rc.crosscheck) {
+    // Demand classes (kRRead..kDemandWrite) originate only from client
+    // requests, so the server's histograms must equal the merge of what
+    // the clients observed — bit-exact, bucket by bucket. Internal
+    // classes (conversion writes, scrub rewrites) are server-only.
+    for (std::size_t c = 0; c <= static_cast<std::size_t>(
+                                     stats::ReqClass::kDemandWrite);
+         ++c) {
+      RD_CHECK_MSG(
+          merged[c] == st.metrics.lat(static_cast<stats::ReqClass>(c)),
+          "wire/server histogram mismatch for class "
+              << stats::req_class_name(static_cast<stats::ReqClass>(c)));
+    }
+  }
+
+  // Same virtual-time field lines as the in-process report (sourced from
+  // the server blob); wire-only extras carry a wire_ prefix so the
+  // sweep's determinism diffs can filter them alongside wall/spins.
+  stats::JsonWriter j;
+  j.add("tool", std::string("readduo_load"))
+      .add("scheme", rc.scheme)
+      .add("workload", rc.workload)
+      .add("shards", info.shards)
+      .add("threads", info.threads)
+      .add("queue", info.queue)
+      .add("batch", info.batch)
+      .add("seed", rc.seed)
+      .add("rps_virtual", rc.rps)
+      .add("write_fraction", rc.write_fraction)
+      .add("requests", rc.requests)
+      .add("completed", st.completed)
+      .add("rejected_submissions", st.rejected)
+      .add("wire_clients", static_cast<std::uint64_t>(rc.clients))
+      .add("wire_window", static_cast<std::uint64_t>(rc.window))
+      .add("wire_retries", retries)
+      .add("virtual_time_ns", static_cast<std::int64_t>(st.virtual_time.v))
+      .add("wall_ms", wall * 1e3)
+      .add("throughput_rps_wall",
+           wall > 0 ? static_cast<double>(st.completed) / wall : 0.0)
+      .add("scrubs", st.scrubs)
+      .add("write_cancellations", st.write_cancellations)
+      .add("scrub_rewrites_dropped", st.scrub_rewrites_dropped)
+      .add_raw("demand_reads", class_json(st.metrics.demand_reads()));
+  for (std::size_t c = 0; c < stats::kNumReqClasses; ++c) {
+    const auto cls = static_cast<stats::ReqClass>(c);
+    if (st.metrics.lat(cls).count() == 0) continue;
+    j.add_raw(stats::req_class_name(cls), class_json(st.metrics.lat(cls)));
+  }
+  const std::string json = j.str();
+  std::printf("READDUO_METRICS %s", json.c_str());
+  if (!rc.summary_path.empty()) {
+    std::ofstream out(rc.summary_path);
+    RD_CHECK_MSG(out.good(), "cannot write --summary file");
+    out << json;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,6 +434,10 @@ int main(int argc, char** argv) {
   std::uint64_t report_every = 100'000;
   std::string summary_path;
   std::string shards_flag, queue_flag, batch_flag;
+  std::string connect_addr;
+  std::size_t clients = 1;
+  std::size_t window = 256;
+  bool crosscheck = true;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -153,6 +463,14 @@ int main(int argc, char** argv) {
       report_every = std::stoull(v);
     } else if (parse_flag(argv[i], "--summary", v)) {
       summary_path = v;
+    } else if (parse_flag(argv[i], "--connect", v)) {
+      connect_addr = v;
+    } else if (parse_flag(argv[i], "--clients", v)) {
+      clients = std::stoull(v);
+    } else if (parse_flag(argv[i], "--window", v)) {
+      window = std::stoull(v);
+    } else if (parse_flag(argv[i], "--crosscheck", v)) {
+      crosscheck = std::stoull(v) != 0;
     } else {
       usage(argv[0]);
       return 2;
@@ -164,6 +482,22 @@ int main(int argc, char** argv) {
   const trace::Workload& w = trace::workload_by_name(workload);
   if (write_fraction < 0.0) {
     write_fraction = w.wpki / (w.rpki + w.wpki);
+  }
+
+  if (!connect_addr.empty()) {
+    ConnectRun rc;
+    rc.addr = connect_addr;
+    rc.requests = requests;
+    rc.rps = rps;
+    rc.scheme = scheme;
+    rc.workload = workload;
+    rc.write_fraction = write_fraction;
+    rc.seed = seed;
+    rc.clients = clients;
+    rc.window = window;
+    rc.crosscheck = crosscheck;
+    rc.summary_path = summary_path;
+    return run_connect(rc, w);
   }
 
   service::ServiceConfig cfg;
@@ -201,18 +535,13 @@ int main(int argc, char** argv) {
   std::uint64_t backpressure_spins = 0;
   std::uint64_t next_report = report_every;
   for (std::uint64_t i = 1; i <= requests; ++i) {
+    const GenReq g = next_request(rng, t, gap, write_fraction, w);
     service::Request r;
     r.id = i;
-    r.arrival = t;
-    t += gap;
-    r.is_write = rng.bernoulli(write_fraction);
-    if (!r.is_write && rng.bernoulli(w.archive_read_fraction)) {
-      r.archive = true;
-      r.line = w.footprint_lines +
-               rng.uniform_below(std::max<std::uint64_t>(1, w.archive_lines));
-    } else {
-      r.line = rng.zipf(w.footprint_lines, w.zipf_s);
-    }
+    r.arrival = g.arrival;
+    r.is_write = g.is_write;
+    r.archive = g.archive;
+    r.line = g.line;
     while (!svc.submit(r)) {
       // Closed loop: a full shard queue pushes back on the client.
       ++backpressure_spins;

@@ -1,0 +1,174 @@
+// readduo_serve — the memory service behind a socket (DESIGN.md §12).
+//
+//   readduo_serve --listen=unix:/tmp/rd.sock --seed=7
+//   READDUO_THREADS=4 readduo_serve --listen=tcp:127.0.0.1:0 --oneshot
+//
+// Binds the framed wire protocol (src/net/) in front of one
+// service::MemoryService and runs the poll loop until SIGINT/SIGTERM —
+// or, with --oneshot, until at least one client has connected and all
+// connections are gone (the harness mode: run_test_sweep.sh lane 8
+// starts a server, points readduo_load --connect at it, and the server
+// exits by itself when the load generator hangs up).
+//
+// The first stdout line is `READDUO_SERVE listening <addr>` with the
+// resolved address (tcp port 0 is filled in), so scripts can wait for
+// readiness and discover the port. Virtual-time results served over the
+// wire are bit-identical to an in-process readduo_load run of the same
+// (seed, scheme, workload, shards) — the sequence-merge rule in
+// MemoryService makes socket arrival interleaving irrelevant.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "net/server.h"
+#include "trace/workload.h"
+
+using namespace rd;
+
+namespace {
+
+net::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // async-signal-safe
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "\n"
+      "options:\n"
+      "  --listen=<addr>   unix:<path> or tcp:<host>:<port> (port 0 =\n"
+      "                    kernel-assigned; default unix:/tmp/rd.sock)\n"
+      "  --scheme=<name>   Ideal | Scrubbing | M-metric | Hybrid |\n"
+      "                    LWT | Select (default Hybrid)\n"
+      "  --workload=<name> locality/write-mix template (default mcf)\n"
+      "  --seed=<n>        RNG seed (default 42)\n"
+      "  --shards=<n>      chips (default 4)\n"
+      "  --queue=<n>       per-client admission bound\n"
+      "  --batch=<n>       admission batch size\n"
+      "  --oneshot         exit when the last client disconnects\n"
+      "\n"
+      "environment:\n"
+      "  READDUO_THREADS          service worker threads\n"
+      "  READDUO_SERVICE_SHARDS   default for --shards\n"
+      "  READDUO_SERVICE_QUEUE    default for --queue\n"
+      "  READDUO_SERVICE_BATCH    default for --batch\n"
+      "  READDUO_SERVE_MAX_FRAME  largest accepted frame payload, bytes\n"
+      "  READDUO_SERVE_WBUF       per-connection write-buffer bound\n"
+      "  READDUO_SERVE_CONNS     accepted-connection cap\n",
+      argv0);
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+readduo::SchemeKind scheme_by_name(const std::string& s) {
+  if (s == "Ideal") return readduo::SchemeKind::kIdeal;
+  if (s == "TLC") return readduo::SchemeKind::kTlc;
+  if (s == "Scrubbing") return readduo::SchemeKind::kScrubbing;
+  if (s == "M-metric") return readduo::SchemeKind::kMMetric;
+  if (s == "Hybrid") return readduo::SchemeKind::kHybrid;
+  if (s == "LWT") return readduo::SchemeKind::kLwt;
+  if (s == "Select") return readduo::SchemeKind::kSelect;
+  RD_CHECK_MSG(false, "unknown scheme: " + s);
+  return readduo::SchemeKind::kHybrid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen = "unix:/tmp/rd.sock";
+  std::string scheme = "Hybrid";
+  std::string workload = "mcf";
+  std::uint64_t seed = 42;
+  std::string shards_flag, queue_flag, batch_flag;
+  bool oneshot = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--listen", v)) {
+      listen = v;
+    } else if (parse_flag(argv[i], "--scheme", v)) {
+      scheme = v;
+    } else if (parse_flag(argv[i], "--workload", v)) {
+      workload = v;
+    } else if (parse_flag(argv[i], "--seed", v)) {
+      seed = std::stoull(v);
+    } else if (parse_flag(argv[i], "--shards", v)) {
+      shards_flag = v;
+    } else if (parse_flag(argv[i], "--queue", v)) {
+      queue_flag = v;
+    } else if (parse_flag(argv[i], "--batch", v)) {
+      batch_flag = v;
+    } else if (std::strcmp(argv[i], "--oneshot") == 0) {
+      oneshot = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  net::ServerConfig cfg;
+  cfg.listen = listen;
+  net::apply_server_env(cfg);
+  cfg.service.sim.seed = seed;
+  cfg.service.scheme = scheme_by_name(scheme);
+  cfg.service.workload = trace::workload_by_name(workload);
+  service::apply_service_env(cfg.service);  // env defaults, flags override
+  if (!shards_flag.empty()) {
+    cfg.service.num_shards = static_cast<unsigned>(std::stoul(shards_flag));
+  }
+  if (!queue_flag.empty()) {
+    cfg.service.queue_capacity = std::stoull(queue_flag);
+  }
+  if (!batch_flag.empty()) cfg.service.batch_size = std::stoull(batch_flag);
+
+  net::Server server(cfg);
+  server.start();
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  // lint: allow(env-registry) readiness banner, not an environment knob
+  std::printf("READDUO_SERVE listening %s\n", server.address().c_str());
+  std::printf(
+      "[serve] scheme=%s workload=%s shards=%u threads=%u queue=%zu "
+      "batch=%zu seed=%llu%s\n",
+      scheme.c_str(), workload.c_str(), server.service().num_shards(),
+      server.service().worker_threads(), cfg.service.queue_capacity,
+      cfg.service.batch_size, static_cast<unsigned long long>(seed),
+      oneshot ? " oneshot" : "");
+  std::fflush(stdout);
+
+  server.run(oneshot);
+  g_server = nullptr;
+
+  server.service().stop();
+  const service::ServiceStats st = server.service().stats();
+  const net::ServerCounters ct = server.counters();
+  std::printf(
+      "[serve] done: conns=%llu shed=%llu frames=%llu bad=%llu crc=%llu "
+      "wire_faults=%llu retries=%llu | submitted=%llu completed=%llu "
+      "vt=%.1fms\n",
+      static_cast<unsigned long long>(ct.conns_accepted),
+      static_cast<unsigned long long>(ct.conns_shed),
+      static_cast<unsigned long long>(ct.frames_rx),
+      static_cast<unsigned long long>(ct.frames_bad),
+      static_cast<unsigned long long>(ct.crc_errors),
+      static_cast<unsigned long long>(ct.wire_faults),
+      static_cast<unsigned long long>(ct.retries_sent),
+      static_cast<unsigned long long>(st.submitted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<double>(st.virtual_time.v) / 1e6);
+  return 0;
+}
