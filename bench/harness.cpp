@@ -19,6 +19,8 @@
 #include "common/env.h"
 #include "common/parallel.h"
 #include "common/thread_annotations.h"
+#include "config/apply.h"
+#include "config/loader.h"
 #include "faults/injector.h"
 #include "memsim/env.h"
 #include "stats/json.h"
@@ -72,7 +74,12 @@ std::string cache_key(readduo::SchemeKind kind, const trace::Workload& w,
      << "_t" << opts.controller.initial_t << "_wr" << w.rpki << "-"
      << w.wpki << "-" << w.footprint_lines << "-"
      << w.archive_read_fraction << "-" << w.archive_lines << "-"
-     << (w.archive_scan ? 1 : 0);
+     << (w.archive_scan ? 1 : 0)
+     // Device zoo: runs under different device configs must never share
+     // cache entries. The builtin device and its externalized twin
+     // (configs/pcm_readduo_t1.cfg) carry the same name on purpose —
+     // they are bit-identical by the default-equivalence guarantee.
+     << "_dev" << config::active_device().name;
   std::string key = os.str();
   for (char& c : key) {
     if (c == ':' || c == '/' || c == ' ') c = '-';
@@ -242,6 +249,7 @@ RunResult run_fresh(readduo::SchemeKind kind, const trace::Workload& w,
                     std::uint64_t budget) {
   RunResult result;
   memsim::SimConfig cfg;
+  config::apply_device(config::active_device(), cfg);
   cfg.instructions_per_core = budget;
   cfg.seed = seed;
   cfg.trace_events = stats::trace_ring_capacity_from_env();
@@ -475,6 +483,7 @@ std::string render_metrics_json() {
   MutexLock g(h.mu);
   stats::JsonWriter doc;
   doc.add("bench", h.bench_name)
+      .add("device", config::active_device().name)
       .add("schema_version",
            static_cast<std::uint64_t>(detail::kCacheSchemaVersion))
       .add("threads", std::uint64_t{parallel_thread_count()})

@@ -52,7 +52,7 @@ namespace detail {
 /// embeds) gains, loses, or reorders a serialized field; load_cached
 /// treats every other version as a miss instead of misparsing old bytes
 /// into new fields.
-inline constexpr int kCacheSchemaVersion = 2;
+inline constexpr int kCacheSchemaVersion = 3;
 
 /// Serialize one cache entry (schema tag + every RunResult field +
 /// metrics).

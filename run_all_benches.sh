@@ -168,8 +168,19 @@ awk '
 
 # Optional machine-readable summary (see header).
 if [ -n "$json_out" ]; then
+  # The active device name: read from the READDUO_DEVICE config when the
+  # sweep ran against one, else the builtin (DESIGN.md §13). Every run in
+  # the summary used this device — the bench cache keys guarantee it.
+  if [ -n "${READDUO_DEVICE:-}" ]; then
+    device_name=$(sed -n 's/^name[[:space:]]*=[[:space:]]*//p' \
+                  "$READDUO_DEVICE" | head -1)
+    device_name=${device_name:-unknown}
+  else
+    device_name=pcm-readduo-t1
+  fi
   awk -v total_ms="$(( total_end - total_start ))" \
       -v cores="$(nproc)" \
+      -v device="$device_name" \
       -v cache="$cache_state" \
       -v threads="${READDUO_THREADS:-auto}" \
       -v instr="${READDUO_INSTR:-default}" \
@@ -230,6 +241,7 @@ if [ -n "$json_out" ]; then
     }
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
+    printf "  \"device\": \"%s\",\n", device
     printf "  \"host\": {\"cores\": %d, \"os\": \"linux\"},\n", cores
     printf "  \"env\": {\"READDUO_THREADS\": \"%s\", \"READDUO_INSTR\": \"%s\"},\n", threads, instr
     printf "  \"cache\": \"%s\",\n", cache

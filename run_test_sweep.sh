@@ -39,6 +39,11 @@
 #      (DESIGN.md §12): socket interleaving must not be observable. The
 #      THREADS=4 run repeats with a TSan-built server unless
 #      READDUO_TSAN_SOAK=0.
+#   9. Device-config equivalence: the golden suite and the fixed-seed
+#      service soak re-run under READDUO_DEVICE=configs/pcm_readduo_t1.cfg.
+#      The file is the builtin device written down (DESIGN.md §13), so the
+#      goldens must pass unchanged and the soak's virtual-time metrics
+#      must be bit-identical to the default-device run.
 #
 # Usage: ./run_test_sweep.sh [build-dir] [ctest -R regex]
 #   (default: build, all tests)
@@ -213,6 +218,36 @@ else
   echo "READDUO_TSAN_SOAK=0 — skipping the TSan socket soak"
 fi
 rm -rf "$net_dir"
+
+step "device-config equivalence: READDUO_DEVICE=configs/pcm_readduo_t1.cfg"
+# The golden config is the builtin device externalized; goldens and the
+# service soak must not be able to tell the difference (DESIGN.md §13).
+dev_cfg=configs/pcm_readduo_t1.cfg
+for bin in test_golden test_config; do
+  if [ ! -x "$BUILD/tests/$bin" ]; then
+    cmake --build "$BUILD" --target "$bin" -j || exit 1
+  fi
+  echo "-- $bin (READDUO_DEVICE=$dev_cfg)"
+  READDUO_DEVICE=$dev_cfg "$BUILD/tests/$bin" --gtest_brief=1 \
+    || failures=$((failures + 1))
+done
+dev_dir=$(mktemp -d)
+echo "-- readduo_load 100k requests (default device)"
+"$BUILD/tools/readduo_load" --requests=100000 --report-every=0 --seed=7 \
+  --summary="$dev_dir/default.json" > /dev/null || failures=$((failures + 1))
+echo "-- readduo_load 100k requests (READDUO_DEVICE=$dev_cfg)"
+READDUO_DEVICE=$dev_cfg "$BUILD/tools/readduo_load" --requests=100000 \
+  --report-every=0 --seed=7 --summary="$dev_dir/golden_cfg.json" \
+  > /dev/null || failures=$((failures + 1))
+# builtin and t1 share one device name, so even the summaries' device
+# fields agree: the runs must be bit-identical outside host weather.
+if ! diff <(grep -Ev 'wall|spins|rejected|threads' "$dev_dir/default.json") \
+          <(grep -Ev 'wall|spins|rejected|threads' "$dev_dir/golden_cfg.json")
+then
+  echo "device equivalence: $dev_cfg diverges from the builtin device"
+  failures=$((failures + 1))
+fi
+rm -rf "$dev_dir"
 
 step "test sweep: $failures failing stage(s)"
 exit "$((failures > 0))"

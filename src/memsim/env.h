@@ -2,6 +2,7 @@
 // configuration, so every bench/example builds it the same way.
 #pragma once
 
+#include "config/loader.h"
 #include "pcm/params.h"
 #include "readduo/scheme_base.h"
 #include "trace/workload.h"
@@ -15,6 +16,13 @@ inline readduo::SchemeEnv make_scheme_env(const trace::Workload& w,
                                           const pcm::CpuParams& cpu,
                                           std::uint64_t seed) {
   readduo::SchemeEnv env;
+  // Device-owned parameters come from the process-wide device selection
+  // (READDUO_DEVICE / --device); the builtin device reproduces the old
+  // default-constructed values bit-for-bit.
+  const config::DeviceConfig& dev = config::active_device();
+  env.timing = dev.timing;
+  env.energy = dev.energy;
+  env.geometry = dev.geometry;
   env.footprint_lines = w.footprint_lines;
   env.zipf_s = w.zipf_s;
   // lint: allow(unit-conv) GHz -> cycles/second, not a ns<->s conversion

@@ -172,6 +172,12 @@ std::int64_t PayloadReader::i64() {
   return static_cast<std::int64_t>(u64());
 }
 
+std::string_view PayloadReader::str(std::size_t n) {
+  const unsigned char* p = take(n);
+  return p ? std::string_view(reinterpret_cast<const char*>(p), n)
+           : std::string_view();
+}
+
 std::string encode_request_body(const RequestBody& b) {
   std::string s;
   put_u64(s, b.seq);

@@ -45,7 +45,12 @@ inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
 
 /// Request opcodes (client -> server). Values < 0x80.
 enum class Op : std::uint8_t {
-  kHello = 1,  ///< payload: u64 client id (nonzero); must be first
+  kHello = 1,  ///< payload: u64 client id (nonzero); must be first.
+               ///< Optionally followed by u32 length + that many bytes
+               ///< naming the client's device config; the server rejects
+               ///< a mismatch (kBadState) and its kOk ack carries the
+               ///< server's device name. A bare 8-byte hello skips the
+               ///< check (pre-device-zoo clients).
   kRead = 2,   ///< payload: u64 seq, u64 line, i64 arrival (virtual ns)
   kWrite = 3,  ///< payload: as kRead
   kScrub = 4,  ///< payload: as kRead; an archive-mode (M-sense) read
@@ -156,6 +161,9 @@ class PayloadReader {
   std::uint32_t u32();
   std::uint64_t u64();
   std::int64_t i64();
+  /// Next `n` raw bytes (length-prefixed strings); empty view on a short
+  /// payload, with ok() false.
+  std::string_view str(std::size_t n);
 
   bool ok() const { return ok_; }
   /// True when every byte was consumed (trailing garbage is a protocol

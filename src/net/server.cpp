@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "config/loader.h"
 #include "faults/injector.h"
 #include "net/socket.h"
 #include "net/wire_stats.h"
@@ -188,8 +189,22 @@ void Server::handle_frame(Conn& c, const Frame& f) {
     case Op::kHello: {
       PayloadReader r(f.payload);
       const std::uint64_t id = r.u64();
+      // Optional device echo (u32 length + bytes): reject a client built
+      // against a different device config, so a distributed run can
+      // never silently mix devices. A bare 8-byte hello skips the check.
+      std::string client_dev;
+      if (r.ok() && !r.done()) {
+        const std::uint32_t n = r.u32();
+        client_dev = std::string(r.str(n));
+      }
       if (!r.done() || id == 0) {
         protocol_error(c, Status::kBadFrame, f.id, "bad hello body");
+        return;
+      }
+      const std::string& server_dev = config::active_device().name;
+      if (!client_dev.empty() && client_dev != server_dev) {
+        protocol_error(c, Status::kBadState, f.id,
+                       "device mismatch: server runs " + server_dev);
         return;
       }
       if (c.helloed || !svc_->register_client(id)) {
@@ -198,7 +213,8 @@ void Server::handle_frame(Conn& c, const Frame& f) {
       }
       c.helloed = true;
       c.client_id = id;
-      reply(c, Status::kOk, f.id, "");
+      // The ack names the server's device so clients can report it.
+      reply(c, Status::kOk, f.id, server_dev);
       return;
     }
     case Op::kRead:

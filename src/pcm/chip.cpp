@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/kernels.h"
+#include "config/loader.h"
 #include "faults/injector.h"
 
 namespace rd::pcm {
@@ -9,8 +10,11 @@ namespace rd::pcm {
 MlcChip::MlcChip(ChipConfig cfg)
     : cfg_(cfg),
       mode_(resolve_kernel_mode(cfg.kernels)),
-      r_cfg_(drift::r_metric()),
-      m_cfg_(drift::m_metric()),
+      // The process-wide device (READDUO_DEVICE / --device) supplies the
+      // metric configurations; the builtin device is bit-identical to
+      // the old hard-coded drift::r_metric()/m_metric() calls.
+      r_cfg_(config::active_device().r_metric),
+      m_cfg_(config::active_device().m_metric),
       bch_(/*m=*/10, cfg.bch_t, cfg.data_bytes * 8, mode_),
       rng_(cfg.seed),
       faults_(cfg.faults != nullptr ? cfg.faults : faults::engine()),

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "config/loader.h"
 #include "faults/injector.h"
 
 namespace rd::readduo {
@@ -13,13 +14,16 @@ SchemeBase::SchemeBase(std::string name, SchemeEnv env)
       faults_(env.faults != nullptr ? env.faults : faults::engine()),
       rng_(env.seed) {}
 
+// The shared models latch the process-wide device (READDUO_DEVICE /
+// --device) on first use; under the builtin device the configurations are
+// bit-identical to the old hard-coded drift::r_metric()/m_metric().
 const drift::ErrorModel& SchemeBase::r_model() {
-  static const drift::ErrorModel model(drift::r_metric());
+  static const drift::ErrorModel model(config::active_device().r_metric);
   return model;
 }
 
 const drift::ErrorModel& SchemeBase::m_model() {
-  static const drift::ErrorModel model(drift::m_metric());
+  static const drift::ErrorModel model(config::active_device().m_metric);
   return model;
 }
 

@@ -1,0 +1,46 @@
+# Default-equivalence gate for the device zoo (DESIGN.md §13): the same
+# short simulation run three ways — builtin device, READDUO_DEVICE env
+# knob, positional <device.cfg> — must produce byte-identical JSON
+# reports. Driven by ctest as `config_device_cli_equivalence`; expects
+# -DSIM=<readduo_sim> -DCFG=<pcm_readduo_t1.cfg> -DOUT=<scratch dir>.
+file(MAKE_DIRECTORY ${OUT})
+set(ARGS --scheme=Hybrid --workload=mcf --instructions=200000 --seed=42
+         --json)
+
+execute_process(COMMAND ${SIM} ${ARGS}
+                OUTPUT_FILE ${OUT}/builtin.json RESULT_VARIABLE r1)
+if(NOT r1 EQUAL 0)
+  message(FATAL_ERROR "builtin-device run failed (${r1})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env READDUO_DEVICE=${CFG}
+                        ${SIM} ${ARGS}
+                OUTPUT_FILE ${OUT}/env.json RESULT_VARIABLE r2)
+if(NOT r2 EQUAL 0)
+  message(FATAL_ERROR "READDUO_DEVICE run failed (${r2})")
+endif()
+
+execute_process(COMMAND ${SIM} ${CFG} ${ARGS}
+                OUTPUT_FILE ${OUT}/positional.json RESULT_VARIABLE r3)
+if(NOT r3 EQUAL 0)
+  message(FATAL_ERROR "positional-config run failed (${r3})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${OUT}/builtin.json ${OUT}/env.json
+                RESULT_VARIABLE d1)
+if(NOT d1 EQUAL 0)
+  message(FATAL_ERROR "READDUO_DEVICE=${CFG} diverged from the builtin "
+                      "device — the default-equivalence guarantee is "
+                      "broken (compare ${OUT}/builtin.json and "
+                      "${OUT}/env.json)")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${OUT}/builtin.json ${OUT}/positional.json
+                RESULT_VARIABLE d2)
+if(NOT d2 EQUAL 0)
+  message(FATAL_ERROR "positional ${CFG} diverged from the builtin device "
+                      "(compare ${OUT}/builtin.json and "
+                      "${OUT}/positional.json)")
+endif()

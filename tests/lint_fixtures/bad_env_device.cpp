@@ -1,0 +1,8 @@
+// Seeded violations for the device-zoo knob: near-miss names that look
+// like the real READDUO_DEVICE knob but are not in the registry must be
+// flagged — a typo in a device selection would otherwise silently run
+// the builtin device and report its (identical-looking) metrics.
+const char* kTypoDev = "READDUO_DEVICE_CFG";  // expect: env-registry
+const char* kTypoDev2 = "READDUO_DEV";  // expect: env-registry
+// The real knob is registered: no finding.
+const char* kDev = "READDUO_DEVICE";

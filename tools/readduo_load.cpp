@@ -40,6 +40,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "config/loader.h"
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/wire_stats.h"
@@ -63,6 +64,8 @@ void usage(const char* argv0) {
       "  --scheme=<name>        Ideal | Scrubbing | M-metric | Hybrid |\n"
       "                         LWT | Select (default Hybrid)\n"
       "  --workload=<name>      locality/write-mix template (default mcf)\n"
+      "  --device=<file>        device config (overrides READDUO_DEVICE;\n"
+      "                         see configs/ and docs/DEVICE_CONFIGS.md)\n"
       "  --write-fraction=<f>   override the workload's write mix\n"
       "  --seed=<n>             RNG seed (default 42)\n"
       "  --shards=<n>           chips (default 4)\n"
@@ -181,6 +184,11 @@ struct WireResult {
 void wire_hello(net::Client& cli, std::uint64_t client_id) {
   std::string hello;
   net::put_u64(hello, client_id);
+  // Device echo: the server refuses a hello naming a different device
+  // (kBadState), so a distributed run can never silently mix devices.
+  const std::string& dev = config::active_device().name;
+  net::put_u32(hello, static_cast<std::uint32_t>(dev.size()));
+  hello += dev;
   for (;;) {
     cli.send_frame(net::Op::kHello, 0, hello);
     const net::Frame f = cli.recv_frame();
@@ -385,6 +393,7 @@ int run_connect(const ConnectRun& rc, const trace::Workload& w) {
   stats::JsonWriter j;
   j.add("tool", std::string("readduo_load"))
       .add("scheme", rc.scheme)
+      .add("device", config::active_device().name)
       .add("workload", rc.workload)
       .add("shards", info.shards)
       .add("threads", info.threads)
@@ -435,6 +444,7 @@ int main(int argc, char** argv) {
   std::string summary_path;
   std::string shards_flag, queue_flag, batch_flag;
   std::string connect_addr;
+  std::string device_path;
   std::size_t clients = 1;
   std::size_t window = 256;
   bool crosscheck = true;
@@ -443,6 +453,8 @@ int main(int argc, char** argv) {
     std::string v;
     if (parse_flag(argv[i], "--requests", v)) {
       requests = std::stoull(v);
+    } else if (parse_flag(argv[i], "--device", v)) {
+      device_path = v;
     } else if (parse_flag(argv[i], "--rps", v)) {
       rps = std::stod(v);
     } else if (parse_flag(argv[i], "--scheme", v)) {
@@ -478,6 +490,13 @@ int main(int argc, char** argv) {
   }
   RD_CHECK(requests >= 1);
   RD_CHECK(rps > 0.0);
+
+  // Pin the device before any simulation object latches it; the --device
+  // flag wins over the READDUO_DEVICE env knob.
+  if (!device_path.empty()) {
+    config::set_active_device(config::load_device(device_path),
+                              device_path);
+  }
 
   const trace::Workload& w = trace::workload_by_name(workload);
   if (write_fraction < 0.0) {
@@ -565,6 +584,7 @@ int main(int argc, char** argv) {
   stats::JsonWriter j;
   j.add("tool", std::string("readduo_load"))
       .add("scheme", scheme)
+      .add("device", config::active_device().name)
       .add("workload", workload)
       .add("shards", static_cast<std::uint64_t>(svc.num_shards()))
       .add("threads", static_cast<std::uint64_t>(svc.worker_threads()))

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "config/loader.h"
 #include "net/server.h"
 #include "trace/workload.h"
 
@@ -46,6 +47,8 @@ void usage(const char* argv0) {
       "  --scheme=<name>   Ideal | Scrubbing | M-metric | Hybrid |\n"
       "                    LWT | Select (default Hybrid)\n"
       "  --workload=<name> locality/write-mix template (default mcf)\n"
+      "  --device=<file>   device config (overrides READDUO_DEVICE; a\n"
+      "                    client hello naming another device is refused)\n"
       "  --seed=<n>        RNG seed (default 42)\n"
       "  --shards=<n>      chips (default 4)\n"
       "  --queue=<n>       per-client admission bound\n"
@@ -91,13 +94,15 @@ int main(int argc, char** argv) {
   std::string scheme = "Hybrid";
   std::string workload = "mcf";
   std::uint64_t seed = 42;
-  std::string shards_flag, queue_flag, batch_flag;
+  std::string shards_flag, queue_flag, batch_flag, device_path;
   bool oneshot = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (parse_flag(argv[i], "--listen", v)) {
       listen = v;
+    } else if (parse_flag(argv[i], "--device", v)) {
+      device_path = v;
     } else if (parse_flag(argv[i], "--scheme", v)) {
       scheme = v;
     } else if (parse_flag(argv[i], "--workload", v)) {
@@ -116,6 +121,13 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  // Pin the device before the service builds its chips; the --device
+  // flag wins over the READDUO_DEVICE env knob.
+  if (!device_path.empty()) {
+    config::set_active_device(config::load_device(device_path),
+                              device_path);
   }
 
   net::ServerConfig cfg;
@@ -142,9 +154,10 @@ int main(int argc, char** argv) {
   // lint: allow(env-registry) readiness banner, not an environment knob
   std::printf("READDUO_SERVE listening %s\n", server.address().c_str());
   std::printf(
-      "[serve] scheme=%s workload=%s shards=%u threads=%u queue=%zu "
-      "batch=%zu seed=%llu%s\n",
-      scheme.c_str(), workload.c_str(), server.service().num_shards(),
+      "[serve] scheme=%s device=%s workload=%s shards=%u threads=%u "
+      "queue=%zu batch=%zu seed=%llu%s\n",
+      scheme.c_str(), config::active_device().name.c_str(),
+      workload.c_str(), server.service().num_shards(),
       server.service().worker_threads(), cfg.service.queue_capacity,
       cfg.service.batch_size, static_cast<unsigned long long>(seed),
       oneshot ? " oneshot" : "");

@@ -2,12 +2,15 @@
 //
 //   readduo_sim --scheme=LWT --workload=mcf --instructions=6000000
 //   readduo_sim --scheme=Select --k=4 --s=2 --config=system.ini
+//   readduo_sim configs/rram_iss2012.cfg --scheme=Hybrid --workload=mcf
 //   readduo_sim --list
 //
 // Runs one (scheme, workload) simulation and prints a complete report:
 // execution time, read-mode mix, energy decomposition, endurance, and
-// reliability events. Accepts an optional INI config (see --help) to
-// override system parameters, and can replay a recorded trace file.
+// reliability events. A positional <device.cfg> (or --device=<file>)
+// selects a device from the zoo (configs/; schema in
+// docs/DEVICE_CONFIGS.md); --config INI overrides remain for ad-hoc
+// system (CPU / row-buffer) parameters.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -15,6 +18,8 @@
 #include <string>
 
 #include "common/config.h"
+#include "config/apply.h"
+#include "config/loader.h"
 #include "memsim/env.h"
 #include "memsim/simulator.h"
 #include "readduo/schemes.h"
@@ -45,9 +50,14 @@ const std::map<std::string, readduo::SchemeKind>& scheme_names() {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --scheme=<name> --workload=<name> [options]\n"
+      "usage: %s [device.cfg] --scheme=<name> --workload=<name> [options]\n"
       "\n"
       "options:\n"
+      "  <device.cfg>           positional: device description to simulate\n"
+      "                         (same as --device; see configs/ and\n"
+      "                         docs/DEVICE_CONFIGS.md)\n"
+      "  --device=<file>        select the device config; overrides the\n"
+      "                         READDUO_DEVICE environment knob\n"
       "  --scheme=<name>        Ideal | TLC | Scrubbing | Scrubbing-W0 |\n"
       "                         Scrubbing-BCH10 | M-metric | Hybrid | LWT |"
       " Select\n"
@@ -83,6 +93,7 @@ bool parse_flag(const char* arg, const char* name, std::string& out) {
 
 int main(int argc, char** argv) {
   std::string scheme_name, workload_name = "mcf", config_path, value;
+  std::string device_path;
   std::uint64_t instructions = 2'000'000, seed = 42;
   readduo::ReadDuoOptions opts;
   bool row_buffer = false;
@@ -107,8 +118,12 @@ int main(int argc, char** argv) {
       json = true;
     } else if (parse_flag(a, "--scheme", scheme_name) ||
                parse_flag(a, "--workload", workload_name) ||
-               parse_flag(a, "--config", config_path)) {
+               parse_flag(a, "--config", config_path) ||
+               parse_flag(a, "--device", device_path)) {
       // handled
+    } else if (a[0] != '-' && std::strlen(a) > 4 &&
+               std::strcmp(a + std::strlen(a) - 4, ".cfg") == 0) {
+      device_path = a;  // positional device config
     } else if (parse_flag(a, "--instructions", value)) {
       instructions = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(a, "--seed", value)) {
@@ -133,9 +148,18 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Pin the device before any simulation object latches it; the
+    // positional/--device path wins over the READDUO_DEVICE env knob.
+    if (!device_path.empty()) {
+      config::set_active_device(config::load_device(device_path),
+                                device_path);
+    }
+    const config::DeviceConfig& dev = config::active_device();
+
     const trace::Workload& w = trace::workload_by_name(workload_name);
 
     memsim::SimConfig cfg;
+    config::apply_device(dev, cfg);
     cfg.instructions_per_core = instructions;
     cfg.seed = seed;
     cfg.row_buffer.enabled = row_buffer;
@@ -174,6 +198,7 @@ int main(int argc, char** argv) {
     if (json) {
       stats::JsonWriter jw;
       jw.add("scheme", scheme->name())
+          .add("device", dev.name)
           .add("workload", w.name)
           .add("instructions", r.instructions)
           .add("exec_time_ns", static_cast<std::uint64_t>(r.exec_time.v))
@@ -213,6 +238,8 @@ int main(int argc, char** argv) {
     }
 
     std::printf("scheme      : %s\n", scheme->name().c_str());
+    std::printf("device      : %s (%s)\n", dev.name.c_str(),
+                config::active_device_source().c_str());
     std::printf("workload    : %s (rpki %.2f, wpki %.2f)\n", w.name.c_str(),
                 w.rpki, w.wpki);
     std::printf("instructions: %llu (%u cores)\n",
